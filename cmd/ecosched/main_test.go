@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSubcommandsRun drives every subcommand end to end at a tiny iteration
+// budget — the CLI-level integration suite. Output goes to stdout; the test
+// only asserts clean exits.
+func TestSubcommandsRun(t *testing.T) {
+	// Silence the subcommands' stdout to keep test logs readable.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	cases := [][]string{
+		{"example"},
+		{"fig4", "-iterations", "40"},
+		{"fig5", "-iterations", "40", "-series", "10"},
+		{"fig6", "-iterations", "40"},
+		{"rho", "-iterations", "20"},
+		{"grid", "-iterations", "20"},
+		{"passes", "-iterations", "20"},
+		{"policy", "-iterations", "20"},
+		{"clustered", "-iterations", "20"},
+		{"baseline", "-iterations", "200"},
+		{"fairness", "-iterations", "20"},
+		{"robustness", "-iterations", "10"},
+		{"dynamics", "-iterations", "120"},
+		{"scaling"},
+		{"pareto"},
+		{"gridsim"},
+		{"help"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestExportReplayRoundTrip(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := run([]string{"export", "-file", path, "-seed", "5"}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("export wrote nothing: %v", err)
+	}
+	if err := run([]string{"replay", "-file", path}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestReportWritesDocument(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"report", "-iterations", "40", "-file", path}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"# ecosched evaluation report", "Fig. 4", "Fig. 6", "robustness"} {
+		if !containsStr(string(data), frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"unknown-cmd"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"replay"}); err == nil {
+		t.Error("replay without a file accepted")
+	}
+	if err := run([]string{"replay", "-file", "/nonexistent/x.json"}); err == nil {
+		t.Error("replay of a missing file accepted")
+	}
+	if err := run([]string{"fig4", "-iterations", "0"}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/codec"
+	"ecosched/internal/dp"
+	"ecosched/internal/sim"
+	"ecosched/internal/workload"
+)
+
+// runExport generates one Section 5 scenario and writes it as JSON to the
+// given path (or stdout for "-"), so interesting iterations can be shared
+// and replayed.
+func runExport(seed uint64, path string) error {
+	sc, err := workload.GenerateScenario(workload.PaperSlotGenerator(), workload.PaperJobGenerator(), sim.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "-" && path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := codec.EncodeScenario(out, sc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported scenario: %d nodes, %d slots, %d jobs (seed %d)\n",
+		sc.Pool.Size(), sc.Slots.Len(), sc.Batch.Len(), seed)
+	return nil
+}
+
+// runReplay loads a scenario JSON and runs the full two-phase scheme with
+// both algorithms, printing the comparison.
+func runReplay(path string) error {
+	if path == "" {
+		return fmt.Errorf("replay needs -file <scenario.json>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := codec.DecodeScenario(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s: %d nodes, %d slots, %d jobs\n", path, sc.Pool.Size(), sc.Slots.Len(), sc.Batch.Len())
+	for _, algo := range []alloc.Algorithm{alloc.ALP{}, alloc.AMP{}} {
+		res, err := alloc.FindAlternatives(algo, sc.Slots, sc.Batch, alloc.SearchOptions{})
+		if err != nil {
+			return err
+		}
+		if !res.AllJobsCovered(sc.Batch) {
+			fmt.Printf("  %s: incomplete coverage (%d alternatives) — batch postponed\n",
+				algo.Name(), res.TotalAlternatives())
+			continue
+		}
+		alts := dp.Alternatives(res.Alternatives)
+		limits, err := dp.ComputeLimits(sc.Batch, alts)
+		if err != nil {
+			fmt.Printf("  %s: %v\n", algo.Name(), err)
+			continue
+		}
+		plan, err := dp.MinimizeTime(sc.Batch, alts, limits.Budget)
+		if err != nil {
+			fmt.Printf("  %s: %v\n", algo.Name(), err)
+			continue
+		}
+		fmt.Printf("  %s: %d alternatives, T*=%v B*=%v -> plan T=%v C=%v\n",
+			algo.Name(), res.TotalAlternatives(), limits.Quota, limits.Budget,
+			plan.TotalTime, plan.TotalCost)
+		for _, ch := range plan.Choices {
+			fmt.Printf("     %-8s %v\n", ch.Job.Name, ch.Window)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command slotviz renders generated vacant-slot lists as ASCII resource-line
+// charts (the style of the paper's Fig. 2a), optionally overlaying the
+// windows an algorithm finds for a generated batch.
+//
+//	slotviz [-slots N] [-seed N] [-algo ALP|AMP] [-jobs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/gantt"
+	"ecosched/internal/sim"
+	"ecosched/internal/workload"
+)
+
+func main() {
+	slots := flag.Int("slots", 40, "number of slots to generate")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	algoName := flag.String("algo", "AMP", "window search algorithm (ALP or AMP)")
+	withJobs := flag.Bool("jobs", true, "overlay windows found for a generated batch")
+	flag.Parse()
+
+	if err := run(*slots, *seed, *algoName, *withJobs); err != nil {
+		fmt.Fprintln(os.Stderr, "slotviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(slots int, seed uint64, algoName string, withJobs bool) error {
+	rng := sim.NewRNG(seed)
+	slotGen := workload.PaperSlotGenerator()
+	slotGen.CountMin, slotGen.CountMax = slots, slots
+	list, _, err := slotGen.Generate(rng.Split())
+	if err != nil {
+		return err
+	}
+
+	var horizon sim.Time
+	for _, s := range list.Slots() {
+		if s.End() > horizon {
+			horizon = s.End()
+		}
+	}
+	chart := gantt.NewChart(horizon)
+	for _, s := range list.Slots() {
+		chart.Add(gantt.Segment{Node: s.Node.Label(), Span: s.Span, Kind: '.'})
+	}
+
+	if withJobs {
+		batch, err := workload.PaperJobGenerator().Generate(rng.Split())
+		if err != nil {
+			return err
+		}
+		var algo alloc.Algorithm
+		switch algoName {
+		case "ALP", "alp":
+			algo = alloc.ALP{}
+		case "AMP", "amp":
+			algo = alloc.AMP{}
+		default:
+			return fmt.Errorf("unknown algorithm %q (want ALP or AMP)", algoName)
+		}
+		res, err := alloc.FindAlternatives(algo, list, batch, alloc.SearchOptions{MaxAlternativesPerJob: 1})
+		if err != nil {
+			return err
+		}
+		kinds := "123456789"
+		for i, j := range batch.Jobs() {
+			for _, w := range res.Alternatives[j.Name] {
+				kind := rune(kinds[i%len(kinds)])
+				for _, p := range w.Placements {
+					chart.Add(gantt.Segment{Node: p.Source.Node.Label(), Span: p.Used, Kind: kind})
+				}
+			}
+		}
+		fmt.Printf("batch of %d jobs; windows by %s (digit = job index):\n", batch.Len(), algo.Name())
+		for _, j := range batch.Jobs() {
+			status := "no window"
+			if ws := res.Alternatives[j.Name]; len(ws) > 0 {
+				status = ws[0].String()
+			}
+			fmt.Printf("  %s: %v -> %s\n", j.Name, j.Request, status)
+		}
+	} else {
+		fmt.Printf("%d vacant slots:\n", list.Len())
+	}
+	fmt.Print(chart.Render())
+	return nil
+}

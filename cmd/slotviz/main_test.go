@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunRendersChart(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run(25, 3, "AMP", true); err != nil {
+		t.Fatalf("AMP with jobs: %v", err)
+	}
+	if err := run(25, 3, "alp", true); err != nil {
+		t.Fatalf("alp lowercase: %v", err)
+	}
+	if err := run(25, 3, "AMP", false); err != nil {
+		t.Fatalf("slots only: %v", err)
+	}
+	if err := run(25, 3, "nope", true); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package ecosched_test
+
+import (
+	"fmt"
+
+	"ecosched"
+)
+
+// ExampleScheduleBatch demonstrates the complete two-phase scheme on a tiny
+// deterministic environment: alternative search with AMP, limit derivation,
+// and time minimization under the VO budget.
+func ExampleScheduleBatch() {
+	pool, _ := ecosched.NewPool([]*ecosched.Node{
+		{Name: "cpu1", Performance: 1, Price: 2},
+		{Name: "cpu2", Performance: 2, Price: 4},
+	})
+	list := ecosched.NewSlotList([]ecosched.Slot{
+		ecosched.NewSlot(pool.Node(0), 0, 400),
+		ecosched.NewSlot(pool.Node(1), 0, 400),
+	})
+	batch, _ := ecosched.NewBatch([]*ecosched.Job{
+		{Name: "job1", Priority: 1, Request: ecosched.ResourceRequest{
+			Nodes: 2, Time: 100, MinPerformance: 1, MaxPrice: 4}},
+	})
+	res, err := ecosched.ScheduleBatch(ecosched.AMP{}, list, batch, ecosched.MinimizeTimePolicy)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	w := res.Plan.Choices[0].Window
+	fmt.Printf("window [%v, %v) on %d nodes, cost %v\n", w.Start(), w.End(), w.Size(), w.Cost())
+	// Output:
+	// window [0, 100) on 2 nodes, cost 400.00
+}
+
+// ExampleALP_FindWindow shows the per-slot price cap in action: the
+// expensive node is invisible to ALP.
+func ExampleALP_FindWindow() {
+	cheap := &ecosched.Node{Name: "cheap", Performance: 1, Price: 2}
+	pricey := &ecosched.Node{Name: "pricey", Performance: 1, Price: 9}
+	if _, err := ecosched.NewPool([]*ecosched.Node{cheap, pricey}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	list := ecosched.NewSlotList([]ecosched.Slot{
+		ecosched.NewSlot(cheap, 0, 300),
+		ecosched.NewSlot(pricey, 0, 300),
+	})
+	j := &ecosched.Job{Name: "j", Priority: 1, Request: ecosched.ResourceRequest{
+		Nodes: 1, Time: 100, MinPerformance: 1, MaxPrice: 5}}
+	w, _, ok := ecosched.ALP{}.FindWindow(list, j)
+	fmt.Println("found:", ok, "node:", w.NodeLabels()[0])
+	// Output:
+	// found: true node: cheap
+}
+
+// ExampleAMP_FindWindow shows the whole-job budget: AMP mixes an expensive
+// slot into the window as long as the total fits S = C·t·N.
+func ExampleAMP_FindWindow() {
+	cheap := &ecosched.Node{Name: "cheap", Performance: 1, Price: 2}
+	pricey := &ecosched.Node{Name: "pricey", Performance: 1, Price: 7}
+	if _, err := ecosched.NewPool([]*ecosched.Node{cheap, pricey}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	list := ecosched.NewSlotList([]ecosched.Slot{
+		ecosched.NewSlot(cheap, 0, 300),
+		ecosched.NewSlot(pricey, 0, 300),
+	})
+	// Budget S = 5·100·2 = 1000 ≥ (2+7)·100.
+	j := &ecosched.Job{Name: "j", Priority: 1, Request: ecosched.ResourceRequest{
+		Nodes: 2, Time: 100, MinPerformance: 1, MaxPrice: 5}}
+	w, _, ok := ecosched.AMP{}.FindWindow(list, j)
+	fmt.Println("found:", ok, "cost:", w.Cost(), "within budget:", w.Cost().LessEq(j.Request.Budget()))
+	// Output:
+	// found: true cost: 900.00 within budget: true
+}

@@ -1,0 +1,61 @@
+// Batch sweep: compare ALP and AMP across many generated scheduling
+// iterations under both VO policies — a miniature of the paper's Section 5
+// study that prints the Fig. 4 / Fig. 6 quantities plus the ρ sensitivity
+// from Section 6.
+//
+//	go run ./examples/batchsweep [-iterations N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ecosched/internal/experiments"
+	"ecosched/internal/stats"
+)
+
+func main() {
+	iterations := flag.Int("iterations", 800, "scheduling iterations per study")
+	seed := flag.Uint64("seed", 42, "root RNG seed")
+	flag.Parse()
+
+	cfg := experiments.PaperStudyConfig(*seed, *iterations)
+
+	fmt.Println("== time minimization (min T(s̄) s.t. C(s̄) ≤ B*) ==")
+	tm, err := experiments.RunStudy(experiments.TimeMin, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderStudy(tm))
+
+	fmt.Println("\n== cost minimization (min C(s̄) s.t. T(s̄) ≤ T*) ==")
+	cm, err := experiments.RunStudy(experiments.CostMin, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderStudy(cm))
+
+	fmt.Println("\n== the paper's headline contrasts ==")
+	t := stats.NewTable("claim", "paper", "this run")
+	t.AddRow("AMP time gain, time-min", "-35%",
+		fmt.Sprintf("%+.0f%%", stats.PercentDelta(tm.ALP.JobTime.Mean(), tm.AMP.JobTime.Mean())))
+	t.AddRow("AMP cost premium, time-min", "+15%",
+		fmt.Sprintf("%+.0f%%", stats.PercentDelta(tm.ALP.JobCost.Mean(), tm.AMP.JobCost.Mean())))
+	t.AddRow("ALP cost advantage, cost-min", "-9%",
+		fmt.Sprintf("%+.0f%%", stats.PercentDelta(cm.AMP.JobCost.Mean(), cm.ALP.JobCost.Mean())))
+	t.AddRow("AMP time gain, cost-min", "-15%",
+		fmt.Sprintf("%+.0f%%", stats.PercentDelta(cm.ALP.JobTime.Mean(), cm.AMP.JobTime.Mean())))
+	t.AddRow("alternatives per job, ALP", "7.39", fmt.Sprintf("%.2f", tm.ALP.AlternativesPerJob()))
+	t.AddRow("alternatives per job, AMP", "34.28", fmt.Sprintf("%.2f", tm.AMP.AlternativesPerJob()))
+	fmt.Print(t.String())
+
+	fmt.Println("\n== Section 6: shrinking the AMP budget (S = ρ·C·t·N) ==")
+	rhoCfg := cfg
+	rhoCfg.Iterations = *iterations / 2
+	points, err := experiments.RhoSweep(rhoCfg, []float64{0.7, 0.85, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderRhoSweep(points))
+}

@@ -1,0 +1,78 @@
+// Quickstart: describe a small heterogeneous resource pool, publish its
+// vacant slots, submit a two-job batch, and run the full two-phase economic
+// scheduling scheme (alternative search + backward-run optimization) with
+// one call.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecosched"
+)
+
+func main() {
+	// 1. Describe the nodes: relative performance and price per time unit.
+	//    A job declared to need t ticks on a performance-1 ("etalon") node
+	//    runs in t/P ticks on a performance-P node.
+	pool, err := ecosched.NewPool([]*ecosched.Node{
+		{Name: "budget-1", Performance: 1.0, Price: 1.0},
+		{Name: "budget-2", Performance: 1.0, Price: 1.1},
+		{Name: "mid-1", Performance: 1.8, Price: 2.6},
+		{Name: "turbo-1", Performance: 3.0, Price: 5.2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Publish the vacant slots. Here every node is idle for 500 ticks;
+	//    real deployments derive the list from local schedules (see the
+	//    gridsim example).
+	var slots []ecosched.Slot
+	for _, n := range pool.Nodes() {
+		slots = append(slots, ecosched.NewSlot(n, 0, 500))
+	}
+	list := ecosched.NewSlotList(slots)
+
+	// 3. Describe the batch. Each resource request is the paper's
+	//    contract: N concurrent slots for etalon time t, minimum node
+	//    performance P, and a price cap C per slot-tick. AMP turns C into
+	//    the whole-job budget S = C·t·N.
+	batch, err := ecosched.NewBatch([]*ecosched.Job{
+		{Name: "simulation", Priority: 1, Request: ecosched.ResourceRequest{
+			Nodes: 2, Time: 120, MinPerformance: 1.0, MaxPrice: 2.0}},
+		{Name: "analysis", Priority: 2, Request: ecosched.ResourceRequest{
+			Nodes: 1, Time: 90, MinPerformance: 1.5, MaxPrice: 5.5}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Schedule: find every execution alternative with AMP, derive the
+	//    VO limits T* and B*, and pick the combination minimizing the
+	//    batch execution time within the budget.
+	res, err := ecosched.ScheduleBatch(ecosched.AMP{}, list, batch, ecosched.MinimizeTimePolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("alternatives found: %d (%.1f per job) in %d passes\n",
+		res.Search.TotalAlternatives(), res.Search.AlternativesPerJob(), res.Search.Passes)
+	fmt.Printf("derived limits: T* = %v ticks, B* = %v credits\n", res.Limits.Quota, res.Limits.Budget)
+	fmt.Printf("chosen combination: total time %v, total cost %v\n",
+		res.Plan.TotalTime, res.Plan.TotalCost)
+	for _, c := range res.Plan.Choices {
+		fmt.Printf("  %-10s -> %v\n", c.Job.Name, c.Window)
+	}
+
+	// 5. The same input under the cost-minimization policy trades speed
+	//    for money.
+	cheap, err := ecosched.ScheduleBatch(ecosched.AMP{}, list, batch, ecosched.MinimizeCostPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost policy instead: total time %v, total cost %v\n",
+		cheap.Plan.TotalTime, cheap.Plan.TotalCost)
+}

@@ -1,0 +1,96 @@
+// Strategies: the Section 7 future-work extension in action. The Section 4
+// environment is scheduled with AMP, every leftover alternative becomes a
+// contingency version, and node failures are injected to show the batch
+// surviving via fallback windows — without touching any other job's
+// reservation (all versions are pairwise disjoint by construction).
+//
+//	go run ./examples/strategies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/dp"
+	"ecosched/internal/experiments"
+	"ecosched/internal/strategy"
+)
+
+func main() {
+	grid, batch, err := experiments.Section4Environment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	list, err := grid.VacantSlots(experiments.Section4Horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	search, err := alloc.FindAlternatives(alloc.AMP{}, list, batch, alloc.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alts := dp.Alternatives(search.Alternatives)
+	limits, err := dp.ComputeLimits(batch, alts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := dp.MinimizeTime(batch, alts, limits.Budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := strategy.Build(plan, search, strategy.EarliestFirst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("strategy (primary + contingencies per job):")
+	for _, js := range st.Jobs {
+		fmt.Printf("  %s: %d versions\n", js.Job.Name, len(js.Versions))
+		for i, v := range js.Versions {
+			role := "contingency"
+			if v.Primary {
+				role = "PRIMARY"
+			}
+			fmt.Printf("    %d. %-11s %v\n", i, role, v.Window)
+		}
+	}
+
+	// Fail the node hosting job1's primary at t=0 and watch the fallback.
+	primaryNode := st.Jobs[0].Versions[0].Window.Placements[0].Source.Node
+	fmt.Printf("\ninjecting failure: %s dies at t=0\n", primaryNode.Label())
+	rep := st.Execute([]strategy.Failure{{Node: primaryNode, Time: 0}})
+	for _, out := range rep.Outcomes {
+		if !out.Completed {
+			fmt.Printf("  %s: LOST (no surviving version)\n", out.Job.Name)
+			continue
+		}
+		fmt.Printf("  %s: completed on version %d (%v), delay %v, extra cost %v\n",
+			out.Job.Name, out.VersionUsed, out.Window, out.Delay, out.ExtraCost)
+	}
+	fmt.Printf("batch completion %.0f%%, primaries survived %d/%d\n",
+		100*rep.CompletionRate(), rep.PrimaryCompleted, len(rep.Outcomes))
+
+	// A harsher trace: cpu2 and cpu4 both die. job2's surviving path runs
+	// through the expensive cpu6 — a window ALP could never have offered
+	// as a contingency (its per-slot cap excludes cpu6 entirely).
+	fmt.Println("\ninjecting failures: cpu2 and cpu4 die at t=0")
+	pool := grid.Pool()
+	failures := []strategy.Failure{
+		{Node: pool.ByName("cpu2"), Time: 0},
+		{Node: pool.ByName("cpu4"), Time: 0},
+	}
+	rep = st.Execute(failures)
+	for _, out := range rep.Outcomes {
+		if out.Completed {
+			fmt.Printf("  %s: survived via version %d on %v (delay %v, extra cost %v)\n",
+				out.Job.Name, out.VersionUsed, out.Window.NodeLabels(), out.Delay, out.ExtraCost)
+		} else {
+			fmt.Printf("  %s: LOST (no surviving version)\n", out.Job.Name)
+		}
+	}
+	fmt.Printf("batch completion %.0f%%\n", 100*rep.CompletionRate())
+}

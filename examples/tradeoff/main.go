@@ -1,0 +1,119 @@
+// Tradeoff: the Section 2 criteria vector in practice. One scheduling
+// iteration's alternatives are reduced to their exact (time, cost) Pareto
+// frontier; the VO administrator can then pick by policy — fastest within
+// budget, cheapest within quota, weighted blend, or lexicographic — and see
+// what each choice costs on the other axis.
+//
+//	go run ./examples/tradeoff [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ecosched"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	flag.Parse()
+	rng := ecosched.NewRNG(*seed)
+
+	// Draw Section 5 scenarios until one is fully coverable.
+	var list *ecosched.SlotList
+	var batch *ecosched.Batch
+	var search *ecosched.SearchResult
+	for attempt := 0; ; attempt++ {
+		if attempt >= 50 {
+			log.Fatal("no fully-covered scenario in 50 attempts")
+		}
+		l, _, err := ecosched.PaperSlotGenerator().Generate(rng.Split())
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := ecosched.PaperJobGenerator().Generate(rng.Split())
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := ecosched.FindAlternatives(ecosched.AMP{}, l, b, ecosched.SearchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s.AllJobsCovered(b) {
+			list, batch, search = l, b, s
+			break
+		}
+	}
+	fmt.Printf("scenario: %d slots, %d jobs, %d alternatives found\n",
+		list.Len(), batch.Len(), search.TotalAlternatives())
+
+	alts := ecosched.Alternatives(search.Alternatives)
+	limits, err := ecosched.ComputeLimits(batch, alts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived limits: T* = %v, B* = %v\n\n", limits.Quota, limits.Budget)
+
+	front, err := ecosched.ParetoFront(batch, alts, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact (time, cost) frontier: %d efficient combinations\n", len(front))
+	fmt.Printf("  fastest:  T=%v C=%v\n", front[0].TotalTime, front[0].TotalCost)
+	fmt.Printf("  cheapest: T=%v C=%v\n", front[len(front)-1].TotalTime, front[len(front)-1].TotalCost)
+
+	// An ASCII sketch of the frontier: one row per point, cost as a bar.
+	fmt.Println("\nfrontier (each row one efficient plan; longer bar = costlier):")
+	maxCost := float64(front[0].TotalCost)
+	step := len(front)/12 + 1
+	for i := 0; i < len(front); i += step {
+		p := front[i]
+		bar := int(float64(p.TotalCost) / maxCost * 50)
+		fmt.Printf("  T=%4d C=%8.2f |%s\n", int64(p.TotalTime), float64(p.TotalCost), repeat('#', bar))
+	}
+
+	// Policy picks.
+	fmt.Println("\npolicy picks:")
+	timeFirst, err := ecosched.Lexicographic(batch, alts, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  time-first lexicographic: T=%v C=%v\n", timeFirst.TotalTime, timeFirst.TotalCost)
+	costFirst, err := ecosched.Lexicographic(batch, alts, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  cost-first lexicographic: T=%v C=%v\n", costFirst.TotalTime, costFirst.TotalCost)
+	for _, wT := range []float64{2, 1, 0.2} {
+		p, err := ecosched.WeightedSum(batch, alts, wT, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  weighted (w_T=%.1f, w_C=1): T=%v C=%v\n", wT, p.TotalTime, p.TotalCost)
+	}
+
+	// The constrained optima the paper's scheme uses sit on this frontier.
+	minT, err := ecosched.MinimizeTime(batch, alts, limits.Budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minC, err := ecosched.MinimizeCost(batch, alts, limits.Quota)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npaper's constrained optima:\n")
+	fmt.Printf("  min T s.t. C <= B*: T=%v C=%v\n", minT.TotalTime, minT.TotalCost)
+	fmt.Printf("  min C s.t. T <= T*: T=%v C=%v\n", minC.TotalTime, minC.TotalCost)
+}
+
+func repeat(r rune, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = r
+	}
+	return string(out)
+}

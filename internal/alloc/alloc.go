@@ -1,0 +1,152 @@
+// Package alloc implements the paper's primary contribution: slot selection
+// and co-allocation algorithms for economic scheduling.
+//
+// Two single-window search algorithms are provided, both scanning the ordered
+// vacant-slot list front to back exactly once (Section 3):
+//
+//   - ALP (Algorithm based on Local Price): every slot of the window must
+//     cost at most the request's per-time-unit price cap C.
+//   - AMP (Algorithm based on Maximal job Price): individual slots may exceed
+//     C as long as the whole window's usage cost stays within the job budget
+//     S = ρ·C·t·N.
+//
+// On top of a single-window search, FindAlternatives implements the paper's
+// multi-pass scheme from Section 2: visit the batch jobs in priority order,
+// subtract every found window from the vacant list, and repeat passes until a
+// full pass finds nothing — producing, for each job, a set of pairwise
+// disjoint execution alternatives for the batch optimizer (internal/dp).
+package alloc
+
+import (
+	"fmt"
+
+	"ecosched/internal/job"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// Stats counts the work performed by a window search. The counters make the
+// linear-complexity claim of Section 3 checkable without timing noise: for
+// both algorithms SlotsExamined never exceeds the list length per search and
+// every candidate is evicted at most once.
+type Stats struct {
+	// SlotsExamined is the number of list entries visited by the scan.
+	SlotsExamined int
+	// SlotsRejected counts slots failing the static suitability conditions
+	// (performance, length, and — for ALP — the per-slot price cap).
+	SlotsRejected int
+	// CandidatesEvicted counts window candidates dropped because their
+	// remaining length expired as the window start advanced (step 3°).
+	CandidatesEvicted int
+	// BudgetChecks counts AMP's cheapest-N budget evaluations.
+	BudgetChecks int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.SlotsExamined += other.SlotsExamined
+	s.SlotsRejected += other.SlotsRejected
+	s.CandidatesEvicted += other.CandidatesEvicted
+	s.BudgetChecks += other.BudgetChecks
+}
+
+// Algorithm is a single-window slot search: given the current vacant list
+// and a job, find one suitable co-allocation window (the earliest one the
+// algorithm's policy admits) or report that none exists.
+//
+// Implementations must not modify the list; window subtraction is the
+// caller's responsibility (see FindAlternatives).
+type Algorithm interface {
+	// Name returns the algorithm's short name ("ALP" or "AMP").
+	Name() string
+	// FindWindow searches list for a window satisfying j's request.
+	// It returns ok=false when no window exists on the current list.
+	FindWindow(list *slot.List, j *job.Job) (w *slot.Window, stats Stats, ok bool)
+}
+
+// candidate is a slot currently inside the sliding window under
+// construction, with its precomputed node-local runtime and usage cost.
+type candidate struct {
+	s slot.Slot
+	// runtime is the task execution time on the slot's node.
+	runtime sim.Duration
+	// cost is the usage cost price × runtime.
+	cost sim.Money
+	// deadline is the latest window start this slot can still host:
+	// slot end − runtime.
+	deadline sim.Time
+	// seq is a unique id within one search, for the top-K tracker.
+	seq int
+}
+
+func newCandidate(s slot.Slot, req job.ResourceRequest, seq int) candidate {
+	rt := s.Runtime(req.Time)
+	// The latest feasible window start is bounded by the slot's end and,
+	// when the request carries a deadline, by the completion bound too.
+	latest := s.End()
+	if req.Deadline > 0 && req.Deadline < latest {
+		latest = req.Deadline
+	}
+	return candidate{
+		s:        s,
+		runtime:  rt,
+		cost:     s.Price * sim.Money(rt),
+		deadline: latest.Add(-sim.Duration(rt)),
+		seq:      seq,
+	}
+}
+
+// suits checks the static conditions 2°a and 2°b — performance and length
+// from the slot's own start — plus the request's non-performance node
+// requirements (RAM, disk, OS, tags; Section 2's resource-request
+// characteristics).
+func suits(s slot.Slot, req job.ResourceRequest) bool {
+	if s.Performance() < req.MinPerformance {
+		return false
+	}
+	if !req.Needs.Empty() && !s.Node.Satisfies(req.Needs) {
+		return false
+	}
+	rt := s.Runtime(req.Time)
+	if s.Length() < rt {
+		return false
+	}
+	// A deadline-carrying request needs some start inside the slot whose
+	// completion meets the deadline.
+	if req.Deadline > 0 && s.Start().Add(rt) > req.Deadline {
+		return false
+	}
+	return true
+}
+
+// pastDeadline reports whether the scan can stop: with starts non-decreasing
+// and a positive deadline, no slot starting at or after the deadline can
+// host any task.
+func pastDeadline(s slot.Slot, req job.ResourceRequest) bool {
+	return req.Deadline > 0 && s.Start() >= req.Deadline
+}
+
+// buildWindow materializes a window starting at start from the given
+// candidates. Callers guarantee every candidate can host from start.
+func buildWindow(jobName string, start sim.Time, chosen []candidate) *slot.Window {
+	w := &slot.Window{JobName: jobName, Placements: make([]slot.Placement, 0, len(chosen))}
+	for _, c := range chosen {
+		w.Placements = append(w.Placements, slot.Placement{
+			Source: c.s,
+			Used:   sim.Interval{Start: start, End: start.Add(c.runtime)},
+		})
+	}
+	return w
+}
+
+// validateInput rejects malformed requests up front so the scan loops can
+// assume a well-formed job.
+func validateInput(list *slot.List, j *job.Job) error {
+	if list == nil {
+		return fmt.Errorf("alloc: nil slot list")
+	}
+	if err := j.Validate(); err != nil {
+		return fmt.Errorf("alloc: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package alloc
+
+import (
+	"container/heap"
+	"sort"
+
+	"ecosched/internal/job"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// WindowPolicy selects which N candidates form the window once AMP's budget
+// check succeeds. The paper's step 2° takes the N cheapest (by usage cost);
+// FirstN is provided as an ablation that mimics ALP's arrival-order choice.
+type WindowPolicy int
+
+const (
+	// CheapestN picks the N candidates with the lowest usage cost —
+	// the paper's AMP step 2°.
+	CheapestN WindowPolicy = iota
+	// FirstN picks the N earliest-added still-alive candidates.
+	FirstN
+)
+
+// String names the policy.
+func (p WindowPolicy) String() string {
+	switch p {
+	case CheapestN:
+		return "cheapest-N"
+	case FirstN:
+		return "first-N"
+	default:
+		return "unknown-policy"
+	}
+}
+
+// AMP is the Algorithm based on Maximal job Price (Section 3): the per-slot
+// price cap C of the request is replaced by a whole-job budget
+// S = ρ·C·t·N, so the window may mix cheap and expensive slots as long as
+// its total usage cost fits the budget. The request's minimum-performance
+// condition still applies to every slot.
+//
+// The zero value uses the paper's cheapest-N window policy.
+type AMP struct {
+	// Policy selects the window members among the accumulated candidates;
+	// the default (CheapestN) is the paper's algorithm.
+	Policy WindowPolicy
+}
+
+// Name implements Algorithm.
+func (a AMP) Name() string { return "AMP" }
+
+// deadlineHeap orders candidates by eviction deadline so the scan can expire
+// exactly the candidates invalidated by an advancing window start.
+type deadlineHeap []candidate
+
+func (h deadlineHeap) Len() int { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deadlineHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)     { *h = append(*h, x.(candidate)) }
+func (h *deadlineHeap) Pop() any       { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+func (h deadlineHeap) Peek() candidate { return h[0] }
+
+// FindWindow implements Algorithm following the paper's AMP steps 1°–4°:
+// accumulate suitable slots exactly as ALP does but without the per-slot
+// price condition; whenever the window holds at least N candidates, check
+// whether the N cheapest fit the job budget; if so, the window is formed by
+// those N slots and the rest are conceptually returned to the list (they
+// were never removed — the list is immutable during a search). Otherwise the
+// scan keeps advancing the window start, evicting expired candidates, until
+// the list is exhausted.
+func (a AMP) FindWindow(list *slot.List, j *job.Job) (*slot.Window, Stats, bool) {
+	var stats Stats
+	if err := validateInput(list, j); err != nil {
+		return nil, stats, false
+	}
+	req := j.Request
+	budget := req.Budget()
+
+	alive := make(map[int]candidate) // seq -> candidate
+	var byDeadline deadlineHeap
+	cheapest := newTopK(req.Nodes)
+
+	for _, s := range list.Slots() {
+		stats.SlotsExamined++
+		// Step 1°/3°: conditions 2°a and 2°b only — no per-slot price cap.
+		if pastDeadline(s, req) {
+			break
+		}
+		if !suits(s, req) {
+			stats.SlotsRejected++
+			continue
+		}
+		c := newCandidate(s, req, stats.SlotsExamined)
+
+		// The window start advances to T_last = s.Start(); expire
+		// candidates that can no longer host from there.
+		tLast := s.Start()
+		for byDeadline.Len() > 0 && byDeadline.Peek().deadline < tLast {
+			dead := heap.Pop(&byDeadline).(candidate)
+			if _, ok := alive[dead.seq]; ok {
+				delete(alive, dead.seq)
+				cheapest.Remove(dead.seq)
+				stats.CandidatesEvicted++
+			}
+		}
+
+		alive[c.seq] = c
+		heap.Push(&byDeadline, c)
+		cheapest.Add(c.seq, c.cost)
+
+		// Step 2°: with at least N candidates, the window is formed as
+		// soon as the policy's N members fit the budget. For the paper's
+		// CheapestN policy that is the cheapest-N sum; the FirstN
+		// ablation checks the N earliest-added alive candidates instead.
+		if cheapest.HasFullK() {
+			stats.BudgetChecks++
+			if a.Policy == CheapestN {
+				// O(1) acceptance test; members materialized only
+				// on success.
+				if cheapest.SumCheapest().LessEq(budget) {
+					chosen, _ := a.pick(alive, cheapest, req.Nodes)
+					return buildWindow(j.Name, tLast, chosen), stats, true
+				}
+			} else {
+				chosen, cost := a.pick(alive, cheapest, req.Nodes)
+				if cost.LessEq(budget) {
+					return buildWindow(j.Name, tLast, chosen), stats, true
+				}
+			}
+		}
+	}
+	return nil, stats, false
+}
+
+// pick returns the policy's N window members in deterministic order along
+// with their total usage cost.
+func (a AMP) pick(alive map[int]candidate, cheapest *topK, n int) ([]candidate, sim.Money) {
+	var chosen []candidate
+	switch a.Policy {
+	case FirstN:
+		chosen = make([]candidate, 0, len(alive))
+		for _, c := range alive {
+			chosen = append(chosen, c)
+		}
+		sort.Slice(chosen, func(i, k int) bool { return chosen[i].seq < chosen[k].seq })
+		if len(chosen) > n {
+			chosen = chosen[:n]
+		}
+	default: // CheapestN
+		ids := cheapest.CheapestIDs()
+		chosen = make([]candidate, 0, len(ids))
+		for _, id := range ids {
+			chosen = append(chosen, alive[id])
+		}
+		// Deterministic order: by cost then sequence.
+		sort.Slice(chosen, func(i, k int) bool {
+			if chosen[i].cost != chosen[k].cost {
+				return chosen[i].cost < chosen[k].cost
+			}
+			return chosen[i].seq < chosen[k].seq
+		})
+	}
+	var total sim.Money
+	for _, c := range chosen {
+		total += c.cost
+	}
+	return chosen, total
+}
+
+// EffectiveBudget exposes the budget AMP enforces for a request — useful for
+// reporting and the ρ-sweep ablation.
+func EffectiveBudget(req job.ResourceRequest) sim.Money { return req.Budget() }

@@ -1,0 +1,77 @@
+package alloc
+
+import (
+	"fmt"
+	"testing"
+
+	"ecosched/internal/job"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+	"ecosched/internal/workload"
+)
+
+// benchFixture builds an m-slot Section 5 list and a probing job whose low
+// price cap forces a deep scan.
+func benchFixture(b *testing.B, m int) (*slot.List, *job.Job) {
+	b.Helper()
+	gen := workload.PaperSlotGenerator()
+	gen.CountMin, gen.CountMax = m, m
+	list, _, err := gen.Generate(sim.NewRNG(uint64(m)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return list, mkJob("bench", 4, 100, 1, 2.0)
+}
+
+func BenchmarkALPFindWindow(b *testing.B) {
+	for _, m := range []int{150, 1500} {
+		list, j := benchFixture(b, m)
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ALP{}.FindWindow(list, j)
+			}
+		})
+	}
+}
+
+func BenchmarkAMPFindWindow(b *testing.B) {
+	for _, m := range []int{150, 1500} {
+		list, j := benchFixture(b, m)
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				AMP{}.FindWindow(list, j)
+			}
+		})
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := sim.NewRNG(3)
+	costs := make([]sim.Money, 4096)
+	for i := range costs {
+		costs[i] = sim.Money(rng.IntBetween(1, 1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := newTopK(6)
+		for id, c := range costs {
+			tk.Add(id, c)
+			if id >= 64 {
+				tk.Remove(id - 64)
+			}
+		}
+	}
+}
+
+func BenchmarkMultiPassSearch(b *testing.B) {
+	sc, err := workload.GenerateScenario(workload.PaperSlotGenerator(), workload.PaperJobGenerator(), sim.NewRNG(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindAlternatives(AMP{}, sc.Slots, sc.Batch, SearchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

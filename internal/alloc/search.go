@@ -1,0 +1,146 @@
+package alloc
+
+import (
+	"fmt"
+
+	"ecosched/internal/job"
+	"ecosched/internal/slot"
+)
+
+// SearchOptions tunes the multi-pass alternative search.
+type SearchOptions struct {
+	// MaxPasses caps the number of passes over the batch; 0 means no cap
+	// (the search ends when a full pass finds nothing, which always
+	// terminates because every found window strictly shrinks the vacant
+	// time in the list).
+	MaxPasses int
+	// MaxAlternativesPerJob stops searching for a job once it has this
+	// many alternatives; 0 means unlimited. Jobs at their cap are skipped
+	// but the pass continues for the others.
+	MaxAlternativesPerJob int
+	// FirstOnly limits the search to a single pass collecting at most one
+	// alternative per job — the degenerate mode most classical schedulers
+	// use, kept for the search-passes ablation.
+	FirstOnly bool
+}
+
+// SearchResult is the outcome of FindAlternatives: for every job of the
+// batch, the list of execution alternatives found, plus search-wide
+// accounting.
+type SearchResult struct {
+	// Algorithm is the name of the window-search algorithm used.
+	Algorithm string
+	// Alternatives maps job name to that job's windows, in discovery
+	// order (earlier passes first). Windows are pairwise disjoint across
+	// the whole map.
+	Alternatives map[string][]*slot.Window
+	// Passes is the number of full passes performed (including the final
+	// empty one that terminated the search).
+	Passes int
+	// Stats accumulates the per-search counters across all window
+	// searches.
+	Stats Stats
+	// Remaining is the vacant list after all subtractions. The input list
+	// is never modified.
+	Remaining *slot.List
+}
+
+// TotalAlternatives returns the number of windows found across all jobs.
+func (r *SearchResult) TotalAlternatives() int {
+	var n int
+	for _, ws := range r.Alternatives {
+		n += len(ws)
+	}
+	return n
+}
+
+// AlternativesPerJob returns the mean number of alternatives per job
+// (0 for an empty batch).
+func (r *SearchResult) AlternativesPerJob() float64 {
+	if len(r.Alternatives) == 0 {
+		return 0
+	}
+	return float64(r.TotalAlternatives()) / float64(len(r.Alternatives))
+}
+
+// AllJobsCovered reports whether every job of the batch has at least one
+// alternative — the paper's criterion for keeping an experiment.
+func (r *SearchResult) AllJobsCovered(batch *job.Batch) bool {
+	for _, j := range batch.Jobs() {
+		if len(r.Alternatives[j.Name]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FindAlternatives runs the paper's Section 2 scheme: scan the batch in
+// priority order, find one window per job per pass with the given algorithm,
+// subtract each found window from the working copy of the vacant list, and
+// repeat until a full pass finds nothing (or an option cap is hit).
+//
+// Because every window is subtracted before the next search, the returned
+// alternatives never intersect in processor time: any per-job selection the
+// optimizer makes is simultaneously feasible without revising other jobs'
+// assignments.
+func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts SearchOptions) (*SearchResult, error) {
+	if algo == nil {
+		return nil, fmt.Errorf("alloc: nil algorithm")
+	}
+	if list == nil {
+		return nil, fmt.Errorf("alloc: nil slot list")
+	}
+	if batch == nil || batch.Len() == 0 {
+		return nil, fmt.Errorf("alloc: empty batch")
+	}
+
+	working := list.Clone()
+	res := &SearchResult{
+		Algorithm:    algo.Name(),
+		Alternatives: make(map[string][]*slot.Window, batch.Len()),
+	}
+
+	maxPasses := opts.MaxPasses
+	perJobCap := opts.MaxAlternativesPerJob
+	if opts.FirstOnly {
+		maxPasses = 1
+		perJobCap = 1
+	}
+
+	for pass := 0; ; pass++ {
+		if maxPasses > 0 && pass >= maxPasses {
+			break
+		}
+		res.Passes++
+		foundAny := false
+		for _, j := range batch.Jobs() {
+			if perJobCap > 0 && len(res.Alternatives[j.Name]) >= perJobCap {
+				continue
+			}
+			w, stats, ok := algo.FindWindow(working, j)
+			res.Stats.Add(stats)
+			if !ok {
+				continue
+			}
+			if err := w.Validate(); err != nil {
+				return nil, fmt.Errorf("alloc: %s produced invalid window: %w", algo.Name(), err)
+			}
+			if err := working.SubtractWindow(w); err != nil {
+				return nil, fmt.Errorf("alloc: subtracting window for %s: %w", j.Name, err)
+			}
+			res.Alternatives[j.Name] = append(res.Alternatives[j.Name], w)
+			foundAny = true
+		}
+		if !foundAny {
+			break
+		}
+	}
+	res.Remaining = working
+	return res, nil
+}
+
+// FindFirst returns only the earliest alternative per job — one pass, one
+// window each — which is what a non-multi-variant scheduler would use.
+func FindFirst(algo Algorithm, list *slot.List, batch *job.Batch) (*SearchResult, error) {
+	return FindAlternatives(algo, list, batch, SearchOptions{FirstOnly: true})
+}

@@ -1,0 +1,192 @@
+package alloc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ecosched/internal/sim"
+)
+
+// naiveCheapestSum recomputes the sum of the k cheapest costs directly.
+func naiveCheapestSum(costs map[int]sim.Money, k int) sim.Money {
+	vals := make([]float64, 0, len(costs))
+	for _, c := range costs {
+		vals = append(vals, float64(c))
+	}
+	sort.Float64s(vals)
+	if len(vals) > k {
+		vals = vals[:k]
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sim.Money(sum)
+}
+
+func TestTopKBasic(t *testing.T) {
+	tk := newTopK(2)
+	tk.Add(1, 10)
+	tk.Add(2, 5)
+	tk.Add(3, 20)
+	if tk.Len() != 3 {
+		t.Fatalf("Len: got %d", tk.Len())
+	}
+	if !tk.HasFullK() {
+		t.Fatal("HasFullK should be true with 3 members, k=2")
+	}
+	if got := tk.SumCheapest(); got != 15 {
+		t.Errorf("SumCheapest: got %v, want 15 (5+10)", got)
+	}
+	ids := tk.CheapestIDs()
+	sort.Ints(ids)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("CheapestIDs: got %v, want [1 2]", ids)
+	}
+}
+
+func TestTopKRemovePromotes(t *testing.T) {
+	tk := newTopK(2)
+	tk.Add(1, 10)
+	tk.Add(2, 5)
+	tk.Add(3, 20)
+	tk.Remove(2) // cheapest leaves; 20 must be promoted
+	if got := tk.SumCheapest(); got != 30 {
+		t.Errorf("SumCheapest after remove: got %v, want 30 (10+20)", got)
+	}
+	tk.Remove(3)
+	if tk.HasFullK() {
+		t.Error("HasFullK should be false with one member")
+	}
+	if got := tk.SumCheapest(); got != 10 {
+		t.Errorf("SumCheapest with 1 member: got %v, want 10", got)
+	}
+}
+
+func TestTopKRemoveUnknownIsNoop(t *testing.T) {
+	tk := newTopK(2)
+	tk.Add(1, 10)
+	tk.Remove(99)
+	if tk.Len() != 1 || tk.SumCheapest() != 10 {
+		t.Error("removing unknown id must not change state")
+	}
+}
+
+func TestTopKAddCheaperDisplacesExpensive(t *testing.T) {
+	tk := newTopK(2)
+	tk.Add(1, 10)
+	tk.Add(2, 20)
+	tk.Add(3, 1) // displaces 20
+	if got := tk.SumCheapest(); got != 11 {
+		t.Errorf("SumCheapest: got %v, want 11", got)
+	}
+	tk.Remove(1)
+	if got := tk.SumCheapest(); got != 21 {
+		t.Errorf("SumCheapest after removing 10: got %v, want 21 (1+20)", got)
+	}
+}
+
+func TestTopKReentry(t *testing.T) {
+	// Exercise the generation logic: a member demoted to "out" and
+	// promoted back must not leave stale duplicates.
+	tk := newTopK(1)
+	tk.Add(1, 10)
+	tk.Add(2, 5)  // demotes 1
+	tk.Remove(2)  // promotes 1 back
+	tk.Add(3, 20) // stays out
+	if got := tk.SumCheapest(); got != 10 {
+		t.Errorf("SumCheapest: got %v, want 10", got)
+	}
+	tk.Remove(1)
+	if got := tk.SumCheapest(); got != 20 {
+		t.Errorf("SumCheapest: got %v, want 20", got)
+	}
+	if got := len(tk.CheapestIDs()); got != 1 {
+		t.Errorf("CheapestIDs size: got %d, want 1", got)
+	}
+}
+
+// TestTopKMatchesNaive property: a random add/remove workload agrees with
+// the naive recomputation at every step.
+func TestTopKMatchesNaive(t *testing.T) {
+	f := func(seed uint32, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		rng := sim.NewRNG(uint64(seed))
+		tk := newTopK(k)
+		alive := map[int]sim.Money{}
+		nextID := 0
+		for step := 0; step < 200; step++ {
+			if len(alive) == 0 || rng.Float64() < 0.6 {
+				cost := sim.Money(rng.IntBetween(1, 100))
+				tk.Add(nextID, cost)
+				alive[nextID] = cost
+				nextID++
+			} else {
+				// Remove a pseudo-random alive member.
+				ids := make([]int, 0, len(alive))
+				for id := range alive {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				victim := ids[rng.IntN(len(ids))]
+				tk.Remove(victim)
+				delete(alive, victim)
+			}
+			if tk.Len() != len(alive) {
+				return false
+			}
+			want := naiveCheapestSum(alive, k)
+			if !tk.SumCheapest().ApproxEq(want) {
+				return false
+			}
+			if tk.HasFullK() != (len(alive) >= k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopKCheapestIDsAreCheapest property: the reported members are exactly
+// a cheapest-k subset (ties make the exact set ambiguous, so compare the
+// cost multiset).
+func TestTopKCheapestIDsAreCheapest(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := sim.NewRNG(uint64(seed))
+		k := 3
+		tk := newTopK(k)
+		costs := map[int]sim.Money{}
+		for i := 0; i < 30; i++ {
+			c := sim.Money(rng.IntBetween(1, 50))
+			tk.Add(i, c)
+			costs[i] = c
+		}
+		got := tk.CheapestIDs()
+		if len(got) != k {
+			return false
+		}
+		var gotCosts []float64
+		for _, id := range got {
+			gotCosts = append(gotCosts, float64(costs[id]))
+		}
+		sort.Float64s(gotCosts)
+		var all []float64
+		for _, c := range costs {
+			all = append(all, float64(c))
+		}
+		sort.Float64s(all)
+		for i := 0; i < k; i++ {
+			if gotCosts[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

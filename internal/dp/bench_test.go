@@ -1,0 +1,71 @@
+package dp
+
+import (
+	"testing"
+
+	"ecosched/internal/job"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// benchAlts builds a 6-job, 30-alternatives-each instance resembling a rich
+// AMP search result.
+func benchAlts(b *testing.B) (*job.Batch, Alternatives, Limits) {
+	b.Helper()
+	rng := sim.NewRNG(5)
+	batch := synthBatch(6)
+	alts := Alternatives{}
+	for i := 0; i < 6; i++ {
+		ws := make([]*slot.Window, 30)
+		for a := range ws {
+			ws[a] = synthWindow(jobName(i), 0,
+				sim.Duration(rng.IntBetween(20, 150)), sim.Money(rng.FloatBetween(1, 6)))
+		}
+		alts[batch.At(i).Name] = ws
+	}
+	limits, err := ComputeLimits(batch, alts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return batch, alts, limits
+}
+
+func BenchmarkMinimizeTime(b *testing.B) {
+	batch, alts, limits := benchAlts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeTime(batch, alts, limits.Budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizeCost(b *testing.B) {
+	batch, alts, limits := benchAlts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeCost(batch, alts, limits.Quota); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeLimits(b *testing.B) {
+	batch, alts, _ := benchAlts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeLimits(batch, alts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParetoFrontDP(b *testing.B) {
+	batch, alts, _ := benchAlts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParetoFront(batch, alts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ecosched/internal/job"
+	"ecosched/internal/sim"
+)
+
+// This file implements the multi-criteria side of the model (Section 2: "in
+// the general case … it is necessary to use a vector of criteria, for
+// example ⟨C(s̄), D(s̄), T(s̄), I(s̄)⟩"): the exact Pareto frontier of
+// (time, cost) plans, plus weighted-sum and lexicographic selectors on top
+// of it. D and I are affine in C and T given the limits, so the (T, C)
+// frontier carries the full four-component vector.
+
+// frontierState is a non-dominated partial combination for jobs i..n-1.
+type frontierState struct {
+	time sim.Duration
+	cost sim.Money
+	// choice is the alternative index of job i; next indexes the tail
+	// state in the (i+1)-th frontier.
+	choice int
+	next   int
+}
+
+// ParetoFront computes every Pareto-optimal (total time, total cost)
+// combination of alternatives, one plan per frontier point, ordered by
+// increasing time (hence decreasing cost). The computation is the backward
+// run of Eq. (1) generalized to sets: stage i merges each alternative of
+// job i with every non-dominated tail state and prunes dominated sums.
+//
+// Frontier sizes stay small in practice (total time is bounded by the
+// summed max durations), but MaxFrontier caps the per-stage set as a safety
+// valve; 0 means unlimited.
+func ParetoFront(batch *job.Batch, alts Alternatives, maxFrontier int) ([]*Plan, error) {
+	lists, err := collect(batch, alts)
+	if err != nil {
+		return nil, err
+	}
+	n := len(lists)
+	// stages[i] holds job i's frontier; stages[n] is the empty tail.
+	stages := make([][]frontierState, n+1)
+	stages[n] = []frontierState{{}}
+	for i := n - 1; i >= 0; i-- {
+		var merged []frontierState
+		for a, w := range lists[i] {
+			for next, tail := range stages[i+1] {
+				merged = append(merged, frontierState{
+					time:   w.Length() + tail.time,
+					cost:   w.Cost() + tail.cost,
+					choice: a,
+					next:   next,
+				})
+			}
+		}
+		stages[i] = pruneDominated(merged, maxFrontier)
+	}
+
+	front := stages[0]
+	plans := make([]*Plan, 0, len(front))
+	for _, st := range front {
+		plan := &Plan{Choices: make([]Choice, 0, n)}
+		cur := st
+		for i := 0; i < n; i++ {
+			w := lists[i][cur.choice]
+			plan.Choices = append(plan.Choices, Choice{Job: batch.At(i), Window: w})
+			plan.TotalTime += w.Length()
+			plan.TotalCost += w.Cost()
+			if i+1 < n {
+				cur = stages[i+1][cur.next]
+			}
+		}
+		plans = append(plans, plan)
+	}
+	return plans, nil
+}
+
+// pruneDominated keeps the non-dominated states: sort by (time, cost) and
+// keep states whose cost strictly improves on every earlier (faster) state.
+func pruneDominated(states []frontierState, maxFrontier int) []frontierState {
+	if len(states) == 0 {
+		return states
+	}
+	sort.Slice(states, func(i, k int) bool {
+		if states[i].time != states[k].time {
+			return states[i].time < states[k].time
+		}
+		return states[i].cost < states[k].cost
+	})
+	out := states[:0]
+	bestCost := sim.Money(math.Inf(1))
+	for _, s := range states {
+		if s.cost < bestCost-sim.MoneyEpsilon {
+			out = append(out, s)
+			bestCost = s.cost
+		}
+	}
+	if maxFrontier > 0 && len(out) > maxFrontier {
+		if maxFrontier == 1 {
+			// Degenerate cap: keep the fastest point.
+			out = out[:1]
+		} else {
+			// Thin uniformly, always keeping both endpoints.
+			thinned := make([]frontierState, 0, maxFrontier)
+			for i := 0; i < maxFrontier; i++ {
+				idx := i * (len(out) - 1) / (maxFrontier - 1)
+				thinned = append(thinned, out[idx])
+			}
+			out = thinned
+		}
+	}
+	// Clone into a fresh slice: out aliases states' backing array.
+	res := make([]frontierState, len(out))
+	copy(res, out)
+	return res
+}
+
+// WeightedSum picks the frontier plan minimizing
+// wTime·T(s̄) + wCost·C(s̄). Weights must be non-negative and not both zero.
+func WeightedSum(batch *job.Batch, alts Alternatives, wTime, wCost float64) (*Plan, error) {
+	if wTime < 0 || wCost < 0 || (wTime == 0 && wCost == 0) {
+		return nil, fmt.Errorf("dp: invalid weights (%v, %v)", wTime, wCost)
+	}
+	front, err := ParetoFront(batch, alts, 0)
+	if err != nil {
+		return nil, err
+	}
+	var best *Plan
+	bestVal := math.Inf(1)
+	for _, p := range front {
+		v := wTime*float64(p.TotalTime) + wCost*float64(p.TotalCost)
+		if v < bestVal {
+			bestVal = v
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, &ErrInfeasible{Problem: "weighted selection", Limit: "empty frontier"}
+	}
+	return best, nil
+}
+
+// Criterion selects the primary objective of a lexicographic selection.
+type Criterion int
+
+const (
+	// ByTime minimizes T(s̄) first, breaking ties by C(s̄).
+	ByTime Criterion = iota
+	// ByCost minimizes C(s̄) first, breaking ties by T(s̄).
+	ByCost
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	if c == ByCost {
+		return "cost-first"
+	}
+	return "time-first"
+}
+
+// Lexicographic picks the frontier plan optimal under the primary criterion
+// with the other as tie-break. On a strict frontier these are its endpoints.
+func Lexicographic(batch *job.Batch, alts Alternatives, primary Criterion) (*Plan, error) {
+	front, err := ParetoFront(batch, alts, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(front) == 0 {
+		return nil, &ErrInfeasible{Problem: "lexicographic selection", Limit: "empty frontier"}
+	}
+	// The frontier is ordered by increasing time / decreasing cost.
+	if primary == ByCost {
+		return front[len(front)-1], nil
+	}
+	return front[0], nil
+}
+
+// FrontierVectors evaluates the full ⟨C, D, T, I⟩ vector for every frontier
+// plan against the given limits.
+func FrontierVectors(plans []*Plan, limits Limits) []Vector {
+	out := make([]Vector, 0, len(plans))
+	for _, p := range plans {
+		out = append(out, CriteriaVector(p, limits.Budget, limits.Quota))
+	}
+	return out
+}

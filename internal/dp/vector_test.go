@@ -1,0 +1,278 @@
+package dp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+func TestParetoFrontSimple(t *testing.T) {
+	batch := synthBatch(2)
+	alts := Alternatives{
+		"job1": {synthWindow("a", 0, 50, 2), synthWindow("b", 0, 30, 5)}, // (t,c): (50,100) (30,150)
+		"job2": {synthWindow("c", 0, 40, 1), synthWindow("d", 0, 20, 6)}, // (40,40) (20,120)
+	}
+	// Combinations: (90,140) (70,220) (70,190) (50,270).
+	// Frontier: (50,270), (70,190), (90,140).
+	front, err := ParetoFront(batch, alts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != 3 {
+		t.Fatalf("frontier size: got %d, want 3", len(front))
+	}
+	wantT := []sim.Duration{50, 70, 90}
+	wantC := []sim.Money{270, 190, 140}
+	for i, p := range front {
+		if p.TotalTime != wantT[i] || !p.TotalCost.ApproxEq(wantC[i]) {
+			t.Errorf("front[%d] = (%v, %v), want (%v, %v)",
+				i, p.TotalTime, p.TotalCost, wantT[i], wantC[i])
+		}
+		if len(p.Choices) != 2 {
+			t.Errorf("front[%d] has %d choices", i, len(p.Choices))
+		}
+	}
+}
+
+func TestParetoEndpointsMatchScalarOptima(t *testing.T) {
+	batch := synthBatch(3)
+	alts := Alternatives{
+		"job1": {synthWindow("a", 0, 50, 2), synthWindow("b", 0, 30, 5)},
+		"job2": {synthWindow("c", 0, 40, 1), synthWindow("d", 0, 20, 6)},
+		"job3": {synthWindow("e", 0, 35, 3), synthWindow("f", 0, 60, 1)},
+	}
+	front, err := ParetoFront(batch, alts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastest := front[0]
+	cheapest := front[len(front)-1]
+	// The unconstrained scalar optima must coincide with the endpoints.
+	minTime, err := MinimizeTime(batch, alts, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastest.TotalTime != minTime.TotalTime {
+		t.Errorf("fastest endpoint %v != MinimizeTime %v", fastest.TotalTime, minTime.TotalTime)
+	}
+	minCost, err := MinimizeCost(batch, alts, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cheapest.TotalCost.ApproxEq(minCost.TotalCost) {
+		t.Errorf("cheapest endpoint %v != MinimizeCost %v", cheapest.TotalCost, minCost.TotalCost)
+	}
+}
+
+// TestParetoFrontIsNonDominatedAndComplete property: on random instances,
+// every frontier point is feasible and non-dominated, and every enumerated
+// combination is dominated by (or equal to) some frontier point.
+func TestParetoFrontIsNonDominatedAndComplete(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := sim.NewRNG(uint64(seed))
+		n := rng.IntBetween(1, 4)
+		batch := synthBatch(n)
+		alts := Alternatives{}
+		lists := make([][]*slot.Window, n)
+		for i := 0; i < n; i++ {
+			l := rng.IntBetween(1, 4)
+			ws := make([]*slot.Window, l)
+			for a := 0; a < l; a++ {
+				ws[a] = synthWindow(jobName(i), 0,
+					sim.Duration(rng.IntBetween(10, 80)), sim.Money(rng.IntBetween(1, 6)))
+			}
+			alts[batch.At(i).Name] = ws
+			lists[i] = ws
+		}
+		front, err := ParetoFront(batch, alts, 0)
+		if err != nil || len(front) == 0 {
+			return false
+		}
+		// Frontier ordered by time ascending, cost descending; pairwise
+		// non-dominated.
+		for i := 1; i < len(front); i++ {
+			if front[i].TotalTime <= front[i-1].TotalTime {
+				return false
+			}
+			if front[i].TotalCost >= front[i-1].TotalCost {
+				return false
+			}
+		}
+		// Completeness: every combination is weakly dominated.
+		idx := make([]int, n)
+		for {
+			var tt sim.Duration
+			var tc sim.Money
+			for i, a := range idx {
+				tt += lists[i][a].Length()
+				tc += lists[i][a].Cost()
+			}
+			dominated := false
+			for _, p := range front {
+				if p.TotalTime <= tt && p.TotalCost <= tc+sim.MoneyEpsilon {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+			k := 0
+			for ; k < n; k++ {
+				idx[k]++
+				if idx[k] < len(lists[k]) {
+					break
+				}
+				idx[k] = 0
+			}
+			if k == n {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	batch := synthBatch(2)
+	alts := Alternatives{
+		"job1": {synthWindow("a", 0, 50, 2), synthWindow("b", 0, 30, 5)},
+		"job2": {synthWindow("c", 0, 40, 1), synthWindow("d", 0, 20, 6)},
+	}
+	// Pure time weight → fastest endpoint (50, 270).
+	p, err := WeightedSum(batch, alts, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalTime != 50 {
+		t.Errorf("time-weighted: %v", p.TotalTime)
+	}
+	// Pure cost weight → cheapest endpoint (90, 140).
+	p, err = WeightedSum(batch, alts, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.TotalCost.ApproxEq(140) {
+		t.Errorf("cost-weighted: %v", p.TotalCost)
+	}
+	// Balanced weights can pick an interior point: w=(3, 1) →
+	// values: 50·3+270=420, 70·3+190=400, 90·3+140=410 → (70, 190).
+	p, err = WeightedSum(batch, alts, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalTime != 70 || !p.TotalCost.ApproxEq(190) {
+		t.Errorf("balanced: (%v, %v)", p.TotalTime, p.TotalCost)
+	}
+	if _, err := WeightedSum(batch, alts, -1, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := WeightedSum(batch, alts, 0, 0); err == nil {
+		t.Error("zero weights accepted")
+	}
+}
+
+func TestLexicographic(t *testing.T) {
+	batch := synthBatch(2)
+	alts := Alternatives{
+		"job1": {synthWindow("a", 0, 50, 2), synthWindow("b", 0, 30, 5)},
+		"job2": {synthWindow("c", 0, 40, 1), synthWindow("d", 0, 20, 6)},
+	}
+	p, err := Lexicographic(batch, alts, ByTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalTime != 50 {
+		t.Errorf("ByTime: %v", p.TotalTime)
+	}
+	p, err = Lexicographic(batch, alts, ByCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.TotalCost.ApproxEq(140) {
+		t.Errorf("ByCost: %v", p.TotalCost)
+	}
+	if ByTime.String() != "time-first" || ByCost.String() != "cost-first" {
+		t.Error("criterion names wrong")
+	}
+}
+
+func TestParetoFrontCapThinning(t *testing.T) {
+	// Many alternatives with distinct (t, c) trade-offs produce a large
+	// frontier; the cap must thin it while keeping both endpoints.
+	batch := synthBatch(2)
+	var ws1, ws2 []*slot.Window
+	for i := 0; i < 12; i++ {
+		ws1 = append(ws1, synthWindow("a", 0, sim.Duration(20+5*i), sim.Money(30-2*i)))
+		ws2 = append(ws2, synthWindow("b", 0, sim.Duration(25+5*i), sim.Money(28-2*i)))
+	}
+	alts := Alternatives{"job1": ws1, "job2": ws2}
+	full, err := ParetoFront(batch, alts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := ParetoFront(batch, alts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) > 5*2 { // per-stage cap; final frontier stays small
+		t.Errorf("capped frontier too large: %d", len(capped))
+	}
+	if len(full) < len(capped) {
+		t.Errorf("full frontier (%d) smaller than capped (%d)", len(full), len(capped))
+	}
+	if capped[0].TotalTime != full[0].TotalTime {
+		t.Error("fast endpoint lost by thinning")
+	}
+}
+
+func TestFrontierVectors(t *testing.T) {
+	batch := synthBatch(1)
+	alts := Alternatives{"job1": {synthWindow("a", 0, 50, 2)}}
+	front, err := ParetoFront(batch, alts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := FrontierVectors(front, Limits{Quota: 60, Budget: 120})
+	if len(vecs) != 1 {
+		t.Fatalf("vectors: %d", len(vecs))
+	}
+	v := vecs[0]
+	if v.Time != 50 || v.TimeSlack != 10 || !v.Cost.ApproxEq(100) || !v.BudgetSlack.ApproxEq(20) {
+		t.Errorf("vector: %v", v)
+	}
+}
+
+func TestParetoFrontMissingJob(t *testing.T) {
+	batch := synthBatch(2)
+	alts := Alternatives{"job1": {synthWindow("a", 0, 50, 2)}}
+	if _, err := ParetoFront(batch, alts, 0); err == nil {
+		t.Error("missing alternatives accepted")
+	}
+}
+
+func TestParetoFrontCapOne(t *testing.T) {
+	// Regression: a cap of 1 must not divide by zero and keeps the
+	// fastest point per stage.
+	batch := synthBatch(2)
+	alts := Alternatives{
+		"job1": {synthWindow("a", 0, 20, 9), synthWindow("b", 0, 50, 2)},
+		"job2": {synthWindow("c", 0, 25, 8), synthWindow("d", 0, 60, 1)},
+	}
+	front, err := ParetoFront(batch, alts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// With a per-stage cap of 1 the greedy fastest composition survives.
+	if front[0].TotalTime != 45 {
+		t.Errorf("capped frontier fastest: %v", front[0].TotalTime)
+	}
+}

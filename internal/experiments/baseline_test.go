@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaselineStudy(t *testing.T) {
+	bf, eco, err := BaselineStudy(BaselineConfig{Seed: 42, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both schedulers place every job of every trial.
+	want := 6 * 12
+	if bf.Scheduled != want || eco.Scheduled != want {
+		t.Fatalf("scheduled: backfill %d, economic %d, want %d", bf.Scheduled, eco.Scheduled, want)
+	}
+	// On homogeneous, uniform-price clusters the economic scheme must be
+	// competitive with the specialized baseline: allow a modest premium on
+	// both placement metrics.
+	if eco.Makespan.Mean() > bf.Makespan.Mean()*1.25 {
+		t.Errorf("economic makespan %v far above backfill %v", eco.Makespan.Mean(), bf.Makespan.Mean())
+	}
+	if eco.MeanWait.Mean() > bf.MeanWait.Mean()*1.5 {
+		t.Errorf("economic wait %v far above backfill %v", eco.MeanWait.Mean(), bf.MeanWait.Mean())
+	}
+	out := RenderBaseline(bf, eco)
+	if !strings.Contains(out, "mean makespan") || !strings.Contains(out, "EASY backfilling") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestBaselineStudyValidation(t *testing.T) {
+	if _, _, err := BaselineStudy(BaselineConfig{Trials: 0}); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestBaselineDeterminism(t *testing.T) {
+	run := func() float64 {
+		bf, _, err := BaselineStudy(BaselineConfig{Seed: 5, Trials: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bf.Makespan.Mean()
+	}
+	if run() != run() {
+		t.Error("baseline study not deterministic")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDynamicsStudy(t *testing.T) {
+	alp, amp, err := DynamicsStudy(DynamicsConfig{Seed: 42, Sessions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alp.Submitted != amp.Submitted || alp.Submitted == 0 {
+		t.Fatalf("submission mismatch: %d vs %d", alp.Submitted, amp.Submitted)
+	}
+	// The failure must actually disturb some sessions.
+	if alp.Requeued+amp.Requeued == 0 {
+		t.Fatal("no job was ever requeued — the failure injection is inert")
+	}
+	// Rates are well-formed.
+	for _, p := range []*DynamicsPoint{alp, amp} {
+		if r := p.RecoveryRate(); r < 0 || r > 1 {
+			t.Errorf("%s recovery rate %v", p.Algorithm, r)
+		}
+		if r := p.CompletionRate(); r < 0 || r > 1 {
+			t.Errorf("%s completion rate %v", p.Algorithm, r)
+		}
+		if p.Recovered > p.Requeued {
+			t.Errorf("%s recovered %d > requeued %d", p.Algorithm, p.Recovered, p.Requeued)
+		}
+	}
+	// AMP's broader node access never completes fewer jobs than ALP.
+	if amp.CompletionRate() < alp.CompletionRate() {
+		t.Errorf("AMP completion %v below ALP %v", amp.CompletionRate(), alp.CompletionRate())
+	}
+	out := RenderDynamics(alp, amp)
+	for _, frag := range []string{"recovery rate", "final completion rate", "requeued"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+func TestDynamicsStudyValidation(t *testing.T) {
+	if _, _, err := DynamicsStudy(DynamicsConfig{Sessions: 0}); err == nil {
+		t.Error("zero sessions accepted")
+	}
+}
+
+func TestDynamicsDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		alp, amp, err := DynamicsStudy(DynamicsConfig{Seed: 7, Sessions: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alp.CompletionRate(), amp.CompletionRate()
+	}
+	a1, m1 := run()
+	a2, m2 := run()
+	if a1 != a2 || m1 != m2 {
+		t.Error("dynamics study not deterministic")
+	}
+}

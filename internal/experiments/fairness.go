@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/sim"
+	"ecosched/internal/stats"
+	"ecosched/internal/workload"
+)
+
+// FairnessPoint aggregates one search scheme's first-window placement
+// quality over generated scenarios.
+type FairnessPoint struct {
+	Scheme string
+	// Covered counts scenarios where every job got a window.
+	Covered int
+	// MeanStart is the average first-window start over jobs.
+	MeanStart stats.Online
+	// MeanLatestStart is the average per-scenario latest first-window
+	// start — the batch "tail" the fair scheme targets.
+	MeanLatestStart stats.Online
+	// MeanSpread is the average (latest − earliest) start gap, a direct
+	// fairness measure.
+	MeanSpread stats.Online
+	// Probes counts window searches performed (the fair scheme's cost).
+	Probes int64
+}
+
+// FairnessStudy compares the sequential priority-order first-window search
+// against the batch-at-once fair variant (the paper's Section 7 future
+// work) on identical scenario streams. Both run FirstOnly so each job gets
+// exactly its earliest reachable window under the scheme.
+func FairnessStudy(cfg StudyConfig) (seq, fair *FairnessPoint, err error) {
+	if cfg.Iterations <= 0 {
+		return nil, nil, fmt.Errorf("experiments: non-positive iterations %d", cfg.Iterations)
+	}
+	seq = &FairnessPoint{Scheme: "sequential"}
+	fair = &FairnessPoint{Scheme: "batch-at-once"}
+	root := sim.NewRNG(cfg.Seed)
+	for it := 0; it < cfg.Iterations; it++ {
+		iterRNG := sim.NewRNG(root.Uint64() ^ uint64(it))
+		sc, err := workload.GenerateScenario(cfg.SlotGen, cfg.JobGen, iterRNG)
+		if err != nil {
+			return nil, nil, err
+		}
+		sres, err := alloc.FindAlternatives(alloc.AMP{}, sc.Slots, sc.Batch, alloc.SearchOptions{FirstOnly: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		fres, err := alloc.FindAlternativesFair(alloc.AMP{}, sc.Slots, sc.Batch, alloc.SearchOptions{FirstOnly: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Compare only scenarios both schemes fully cover, so the
+		// aggregates describe the same job population.
+		if !sres.AllJobsCovered(sc.Batch) || !fres.AllJobsCovered(sc.Batch) {
+			continue
+		}
+		recordFairness(seq, sres, sc)
+		recordFairness(fair, fres, sc)
+	}
+	return seq, fair, nil
+}
+
+func recordFairness(p *FairnessPoint, res *alloc.SearchResult, sc *workload.Scenario) {
+	p.Covered++
+	p.Probes += int64(res.Stats.SlotsExamined)
+	var earliest, latest sim.Time
+	first := true
+	for _, j := range sc.Batch.Jobs() {
+		w := res.Alternatives[j.Name][0]
+		p.MeanStart.Add(float64(w.Start()))
+		if first || w.Start() < earliest {
+			earliest = w.Start()
+		}
+		if first || w.Start() > latest {
+			latest = w.Start()
+		}
+		first = false
+	}
+	p.MeanLatestStart.Add(float64(latest))
+	p.MeanSpread.Add(float64(latest - earliest))
+}
+
+// RenderFairness prints the comparison.
+func RenderFairness(seq, fair *FairnessPoint) string {
+	t := stats.NewTable("metric", "sequential", "batch-at-once", "delta%")
+	t.AddRow("covered scenarios", seq.Covered, fair.Covered, "")
+	t.AddRow("mean window start", seq.MeanStart.Mean(), fair.MeanStart.Mean(),
+		stats.PercentDelta(seq.MeanStart.Mean(), fair.MeanStart.Mean()))
+	t.AddRow("mean latest start (tail)", seq.MeanLatestStart.Mean(), fair.MeanLatestStart.Mean(),
+		stats.PercentDelta(seq.MeanLatestStart.Mean(), fair.MeanLatestStart.Mean()))
+	t.AddRow("mean start spread", seq.MeanSpread.Mean(), fair.MeanSpread.Mean(),
+		stats.PercentDelta(seq.MeanSpread.Mean(), fair.MeanSpread.Mean()))
+	t.AddRow("slot scans", seq.Probes, fair.Probes,
+		stats.PercentDelta(float64(seq.Probes), float64(fair.Probes)))
+	return t.String()
+}

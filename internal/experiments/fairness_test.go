@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFairnessStudy(t *testing.T) {
+	cfg := PaperStudyConfig(42, 120)
+	seq, fair, err := FairnessStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Covered == 0 || fair.Covered == 0 {
+		t.Fatal("nothing covered")
+	}
+	// The fair scheme commits the globally earliest window each round, so
+	// its average first-window start must not be worse than sequential.
+	if fair.MeanStart.Mean() > seq.MeanStart.Mean()*1.01 {
+		t.Errorf("fair mean start %v worse than sequential %v",
+			fair.MeanStart.Mean(), seq.MeanStart.Mean())
+	}
+	// Its price is extra probing work.
+	if fair.Probes <= seq.Probes {
+		t.Errorf("fair search should scan more (fair %d vs seq %d)", fair.Probes, seq.Probes)
+	}
+	out := RenderFairness(seq, fair)
+	for _, frag := range []string{"mean window start", "slot scans", "batch-at-once"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+func TestFairnessStudyValidation(t *testing.T) {
+	if _, _, err := FairnessStudy(PaperStudyConfig(1, 0)); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestFairnessDeterminism(t *testing.T) {
+	cfg := PaperStudyConfig(9, 40)
+	s1, f1, err := FairnessStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, f2, err := FairnessStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.MeanStart.Mean() != s2.MeanStart.Mean() || f1.Probes != f2.Probes {
+		t.Error("fairness study not deterministic")
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingStudyLinearBound(t *testing.T) {
+	sizes := []int{500, 1000, 2000, 4000}
+	points, err := ScalingStudy(9, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(sizes) {
+		t.Fatalf("points: %d", len(points))
+	}
+	for i, p := range points {
+		if p.Slots != sizes[i] {
+			t.Errorf("point %d slots %d", i, p.Slots)
+		}
+		// The single-scan bound of Section 3: neither algorithm ever
+		// examines more entries than the list holds.
+		if p.ALPExamined > p.Slots || p.AMPExamined > p.Slots {
+			t.Errorf("m=%d: examined ALP=%d AMP=%d beyond list", p.Slots, p.ALPExamined, p.AMPExamined)
+		}
+		if p.AMPBudgetChecks > p.Slots {
+			t.Errorf("m=%d: budget checks %d beyond one per slot", p.Slots, p.AMPBudgetChecks)
+		}
+	}
+	// Backfill probe counts grow superlinearly relative to ALP/AMP work:
+	// by the largest size the baseline must clearly exceed the scans.
+	last := points[len(points)-1]
+	if last.BackfillProbes <= last.AMPExamined {
+		t.Errorf("backfill probes %d not above AMP scan %d at m=%d",
+			last.BackfillProbes, last.AMPExamined, last.Slots)
+	}
+	if _, err := ScalingStudy(9, []int{0}); err == nil {
+		t.Error("zero size accepted")
+	}
+	out := RenderScaling(points)
+	if !strings.Contains(out, "backfill probes") {
+		t.Errorf("RenderScaling incomplete:\n%s", out)
+	}
+}
+
+func TestScalingGrowthRatio(t *testing.T) {
+	// Doubling m must roughly double the backfill probe count per
+	// candidate (quadratic overall in the probe structure) while the
+	// ALP/AMP scan stays bounded by m — i.e. the probes/scan ratio must
+	// not shrink as m grows.
+	points, err := ScalingStudy(5, []int{1000, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := float64(points[0].BackfillProbes) / float64(points[0].Slots)
+	r1 := float64(points[1].BackfillProbes) / float64(points[1].Slots)
+	if r1 < r0*0.9 {
+		t.Errorf("backfill probe density fell with m: %v -> %v", r0, r1)
+	}
+}

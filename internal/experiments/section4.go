@@ -1,0 +1,197 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation, plus the ablation studies listed in DESIGN.md. Each driver is
+// deterministic given its configuration and returns a structured result the
+// CLI and benchmarks render.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/gantt"
+	"ecosched/internal/gridsim"
+	"ecosched/internal/job"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// Section4Horizon is the scheduling horizon of the worked example.
+const Section4Horizon sim.Time = 600
+
+// Section4Environment reconstructs the Section 4 worked example: six
+// uniform-performance nodes cpu1..cpu6 with unit costs 5, 4, 2, 5, 3, 12 and
+// seven owner-local tasks p1..p7 placed so that every numeric fact stated in
+// the section holds:
+//
+//   - the earliest AMP window for Job 1 is W1 = {cpu1, cpu4} on [150, 230)
+//     with total cost 10 per time unit;
+//   - after subtracting W1, the earliest window for Job 2 is
+//     W2 = {cpu1, cpu2, cpu4} on [230, 260) with total cost 14 per time unit;
+//   - after subtracting W2, the earliest window for Job 3 spans [450, 500)
+//     with total cost ≤ 6 per time unit;
+//   - cpu6 (cost 12) is usable by AMP but never by ALP, because every job's
+//     per-slot cap (5, 10, 3) is below 12.
+//
+// The exact slot geometry of the paper's Fig. 2a is not printed in the text;
+// this reconstruction is the minimal environment consistent with all of the
+// stated facts (see DESIGN.md, substitutions).
+func Section4Environment() (*gridsim.Grid, *job.Batch, error) {
+	pool, err := resource.NewPool([]*resource.Node{
+		{Name: "cpu1", Performance: 1, Price: 5},
+		{Name: "cpu2", Performance: 1, Price: 4},
+		{Name: "cpu3", Performance: 1, Price: 2},
+		{Name: "cpu4", Performance: 1, Price: 5},
+		{Name: "cpu5", Performance: 1, Price: 3},
+		{Name: "cpu6", Performance: 1, Price: 12},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	grid, err := gridsim.New(pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	locals := []struct {
+		name, node string
+		start, end sim.Time
+	}{
+		{"p1", "cpu1", 0, 150},
+		{"p2", "cpu2", 0, 180},
+		{"p3", "cpu3", 25, 450},
+		{"p4", "cpu4", 0, 150},
+		{"p5", "cpu4", 370, 410},
+		{"p6", "cpu5", 100, 450},
+		{"p7", "cpu6", 20, 300},
+	}
+	for _, l := range locals {
+		if err := grid.BookLocal(l.name, l.node, l.start, l.end); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Job requirements exactly as printed in Section 4. "Maximum total
+	// window cost per time" divided by the node count gives the per-slot
+	// cap C of the resource request: 10/2=5, 30/3=10, 6/2=3.
+	batch, err := job.NewBatch([]*job.Job{
+		{Name: "job1", Priority: 1, Request: job.ResourceRequest{Nodes: 2, Time: 80, MinPerformance: 1, MaxPrice: 5}},
+		{Name: "job2", Priority: 2, Request: job.ResourceRequest{Nodes: 3, Time: 30, MinPerformance: 1, MaxPrice: 10}},
+		{Name: "job3", Priority: 3, Request: job.ResourceRequest{Nodes: 2, Time: 50, MinPerformance: 1, MaxPrice: 3}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return grid, batch, nil
+}
+
+// Section4Result is the outcome of running both algorithms on the Section 4
+// environment.
+type Section4Result struct {
+	Slots *slot.List
+	Batch *job.Batch
+	AMP   *alloc.SearchResult
+	ALP   *alloc.SearchResult
+	// FirstWindows holds, per job name, AMP's first (earliest) window —
+	// W1, W2, W3 of Fig. 2b.
+	FirstWindows map[string]*slot.Window
+}
+
+// RunSection4 builds the environment, publishes the vacant slots, and runs
+// the full alternative search with AMP and with ALP on identical lists.
+func RunSection4() (*Section4Result, error) {
+	grid, batch, err := Section4Environment()
+	if err != nil {
+		return nil, err
+	}
+	list, err := grid.VacantSlots(Section4Horizon)
+	if err != nil {
+		return nil, err
+	}
+	amp, err := alloc.FindAlternatives(alloc.AMP{}, list, batch, alloc.SearchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	alp, err := alloc.FindAlternatives(alloc.ALP{}, list, batch, alloc.SearchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	first := make(map[string]*slot.Window, batch.Len())
+	for _, j := range batch.Jobs() {
+		if ws := amp.Alternatives[j.Name]; len(ws) > 0 {
+			first[j.Name] = ws[0]
+		}
+	}
+	return &Section4Result{Slots: list, Batch: batch, AMP: amp, ALP: alp, FirstWindows: first}, nil
+}
+
+// RenderSection4 draws the initial environment (Fig. 2a) and the first-pass
+// windows (Fig. 2b) as ASCII charts, plus a textual summary of all found
+// alternatives (Fig. 3).
+func RenderSection4(res *Section4Result, grid *gridsim.Grid) string {
+	var sb strings.Builder
+
+	initial := gantt.NewChart(Section4Horizon)
+	for _, n := range grid.Pool().Nodes() {
+		initial.AddRow(n.Label())
+	}
+	for _, t := range grid.AllTasks() {
+		if t.Local {
+			node := grid.Pool().Node(t.Node)
+			initial.Add(gantt.Segment{Node: node.Label(), Span: t.Span, Label: t.Name, Kind: '#'})
+		}
+	}
+	for _, s := range res.Slots.Slots() {
+		initial.Add(gantt.Segment{Node: s.Node.Label(), Span: s.Span, Kind: '.'})
+	}
+	sb.WriteString("Initial environment (local tasks '#', vacant slots '.'):\n")
+	sb.WriteString(initial.Render())
+	sb.WriteByte('\n')
+
+	windows := gantt.NewChart(Section4Horizon)
+	for _, n := range grid.Pool().Nodes() {
+		windows.AddRow(n.Label())
+	}
+	kinds := []rune{'1', '2', '3', '4', '5', '6', '7', '8', '9'}
+	i := 0
+	for _, j := range res.Batch.Jobs() {
+		if w := res.FirstWindows[j.Name]; w != nil {
+			kind := kinds[i%len(kinds)]
+			i++
+			for _, p := range w.Placements {
+				windows.Add(gantt.Segment{Node: p.Source.Node.Label(), Span: p.Used,
+					Label: "W" + string(kind), Kind: kind})
+			}
+		}
+	}
+	sb.WriteString("First-pass AMP windows (Fig. 2b):\n")
+	sb.WriteString(windows.Render())
+	sb.WriteByte('\n')
+
+	sb.WriteString("All alternatives (Fig. 3):\n")
+	for _, j := range res.Batch.Jobs() {
+		fmt.Fprintf(&sb, "  %s: AMP %d alternatives, ALP %d alternatives\n",
+			j.Name, len(res.AMP.Alternatives[j.Name]), len(res.ALP.Alternatives[j.Name]))
+		for _, w := range res.AMP.Alternatives[j.Name] {
+			fmt.Fprintf(&sb, "    AMP %v\n", w)
+		}
+	}
+	fmt.Fprintf(&sb, "Totals: AMP %d, ALP %d alternatives; AMP windows using cpu6: %d, ALP: %d\n",
+		res.AMP.TotalAlternatives(), res.ALP.TotalAlternatives(),
+		countUsing(res.AMP, "cpu6"), countUsing(res.ALP, "cpu6"))
+	return sb.String()
+}
+
+// countUsing counts windows in the result that place a task on the named
+// node.
+func countUsing(res *alloc.SearchResult, node string) int {
+	var n int
+	for _, ws := range res.Alternatives {
+		for _, w := range ws {
+			if w.UsesNode(node) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package gridsim
+
+import (
+	"fmt"
+
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+// FailNode marks a node as failed at the given time: its remaining vacancy
+// disappears from every subsequent VacantSlots publication, and all VO
+// reservations on it that had not finished by the failure instant are
+// cancelled and returned so the metascheduler can re-queue the affected
+// jobs. Owner-local tasks are the owner's problem and stay recorded.
+//
+// Failing an already-failed node is a no-op returning no cancellations.
+func (g *Grid) FailNode(id resource.NodeID, at sim.Time) ([]Task, error) {
+	node := g.pool.Node(id)
+	if node == nil {
+		return nil, fmt.Errorf("gridsim: failing unknown node %d", id)
+	}
+	if at < g.now {
+		at = g.now
+	}
+	if g.failed == nil {
+		g.failed = make(map[resource.NodeID]sim.Time)
+	}
+	if _, down := g.failed[id]; down {
+		return nil, nil
+	}
+	g.failed[id] = at
+
+	var cancelled []Task
+	kept := g.booked[id][:0]
+	for _, t := range g.booked[id] {
+		if !t.Local && t.Span.End > at {
+			cancelled = append(cancelled, t)
+			g.income[node.Domain] -= t.Cost
+			continue
+		}
+		kept = append(kept, t)
+	}
+	g.booked[id] = kept
+	return cancelled, nil
+}
+
+// NodeFailed reports whether the node is marked failed.
+func (g *Grid) NodeFailed(id resource.NodeID) bool {
+	_, down := g.failed[id]
+	return down
+}
+
+// FailedNodes returns the failed node ids in id order.
+func (g *Grid) FailedNodes() []resource.NodeID {
+	var out []resource.NodeID
+	for _, n := range g.pool.Nodes() {
+		if g.NodeFailed(n.ID) {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// CancelJob removes every VO reservation booked under the given job name
+// and returns the cancelled tasks. A parallel job whose window lost one
+// placement (e.g. to a node failure) must release its surviving placements
+// too — tasks start synchronously, so a partial window is worthless.
+func (g *Grid) CancelJob(name string) []Task {
+	var out []Task
+	for id, list := range g.booked {
+		kept := list[:0]
+		for _, t := range list {
+			if !t.Local && t.Name == name {
+				out = append(out, t)
+				g.income[g.pool.Node(t.Node).Domain] -= t.Cost
+				continue
+			}
+			kept = append(kept, t)
+		}
+		g.booked[id] = kept
+	}
+	return out
+}
+
+// RepairNode clears the failure mark; the node publishes vacancy again from
+// the current time on. Reservations cancelled by the failure are not
+// restored — the metascheduler re-schedules them.
+func (g *Grid) RepairNode(id resource.NodeID) error {
+	if g.pool.Node(id) == nil {
+		return fmt.Errorf("gridsim: repairing unknown node %d", id)
+	}
+	delete(g.failed, id)
+	return nil
+}

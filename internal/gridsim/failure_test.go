@@ -1,0 +1,175 @@
+package gridsim
+
+import (
+	"testing"
+
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+func failureGrid(t *testing.T) *Grid {
+	t.Helper()
+	pool := resource.MustNewPool([]*resource.Node{
+		{Name: "a", Performance: 1, Price: 1},
+		{Name: "b", Performance: 1, Price: 2},
+	})
+	g, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFailNodeCancelsReservations(t *testing.T) {
+	g := failureGrid(t)
+	// One local task and two reservations on node a; one reservation ends
+	// before the failure instant and must survive the cancellation list.
+	if err := g.BookLocal("p1", "a", 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Book(Task{Name: "early", Node: 0, Span: sim.Interval{Start: 60, End: 90}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Book(Task{Name: "late", Node: 0, Span: sim.Interval{Start: 200, End: 300}}); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, err := g.FailNode(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cancelled) != 1 || cancelled[0].Name != "late" {
+		t.Fatalf("cancelled: %v", cancelled)
+	}
+	if !g.NodeFailed(0) || g.NodeFailed(1) {
+		t.Error("failure marks wrong")
+	}
+	if got := g.FailedNodes(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("FailedNodes: %v", got)
+	}
+	// The local task stays recorded.
+	found := false
+	for _, tk := range g.Tasks(0) {
+		if tk.Name == "p1" {
+			found = true
+		}
+		if tk.Name == "late" {
+			t.Error("cancelled reservation still booked")
+		}
+	}
+	if !found {
+		t.Error("local task removed by failure")
+	}
+	// Failing again is a no-op.
+	again, err := g.FailNode(0, 100)
+	if err != nil || len(again) != 0 {
+		t.Errorf("second failure: %v, %v", again, err)
+	}
+	// Unknown node fails.
+	if _, err := g.FailNode(9, 0); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestFailedNodePublishesNoVacancy(t *testing.T) {
+	g := failureGrid(t)
+	if _, err := g.FailNode(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	list, err := g.VacantSlots(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range list.Slots() {
+		if s.Node.Label() == "a" {
+			t.Errorf("failed node published vacancy: %v", s)
+		}
+	}
+	if list.Len() != 1 {
+		t.Errorf("expected only node b's vacancy, got %d slots", list.Len())
+	}
+	if err := g.RepairNode(0); err != nil {
+		t.Fatal(err)
+	}
+	list, err = g.VacantSlots(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Len() != 2 {
+		t.Errorf("repaired node should publish again, got %d slots", list.Len())
+	}
+	if err := g.RepairNode(9); err == nil {
+		t.Error("repairing unknown node accepted")
+	}
+}
+
+func TestCancelJobReleasesAllPlacements(t *testing.T) {
+	g := failureGrid(t)
+	pool := g.Pool()
+	w := &slot.Window{JobName: "par", Placements: []slot.Placement{
+		{Source: slot.New(pool.Node(0), 0, 200), Used: sim.Interval{Start: 10, End: 60}},
+		{Source: slot.New(pool.Node(1), 0, 200), Used: sim.Interval{Start: 10, End: 60}},
+	}}
+	if err := g.Commit(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BookLocal("p1", "a", 100, 150); err != nil {
+		t.Fatal(err)
+	}
+	out := g.CancelJob("par")
+	if len(out) != 2 {
+		t.Fatalf("cancelled %d placements, want 2", len(out))
+	}
+	if len(g.AllTasks()) != 1 {
+		t.Errorf("grid should keep only the local task, has %d", len(g.AllTasks()))
+	}
+	if got := g.CancelJob("par"); len(got) != 0 {
+		t.Error("second cancel should find nothing")
+	}
+}
+
+func TestIncomeRefundedOnFailureAndCancel(t *testing.T) {
+	pool := resource.MustNewPool([]*resource.Node{
+		{Name: "a", Performance: 1, Price: 2, Domain: "west"},
+		{Name: "b", Performance: 1, Price: 3, Domain: "east"},
+	})
+	g, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &slot.Window{JobName: "par", Placements: []slot.Placement{
+		{Source: slot.New(pool.Node(0), 0, 200), Used: sim.Interval{Start: 0, End: 50}},
+		{Source: slot.New(pool.Node(1), 0, 200), Used: sim.Interval{Start: 0, End: 50}},
+	}}
+	if err := g.Commit(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, total := g.OwnerIncome(); !total.ApproxEq(250) {
+		t.Fatalf("income after commit: %v", total)
+	}
+	// Node a fails: its 100 credits are refunded...
+	if _, err := g.FailNode(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if by, total := g.OwnerIncome(); !total.ApproxEq(150) || !by["west"].ApproxEq(0) {
+		t.Fatalf("income after failure: %v (by %v)", total, by)
+	}
+	// ...and releasing the partial window refunds node b's share too.
+	g.CancelJob("par")
+	if _, total := g.OwnerIncome(); !total.ApproxEq(0) {
+		t.Fatalf("income after cancel: %v", total)
+	}
+	// Income survives the clock moving past completed reservations.
+	w2 := &slot.Window{JobName: "done", Placements: []slot.Placement{
+		{Source: slot.New(pool.Node(1), 0, 200), Used: sim.Interval{Start: 0, End: 40}},
+	}}
+	if err := g.Commit(w2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	if _, total := g.OwnerIncome(); !total.ApproxEq(120) {
+		t.Fatalf("income after advance: %v", total)
+	}
+}

@@ -1,0 +1,351 @@
+package gridsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+func testPool(t *testing.T) *resource.Pool {
+	t.Helper()
+	return resource.MustNewPool([]*resource.Node{
+		{Name: "cpu1", Performance: 1, Price: 2},
+		{Name: "cpu2", Performance: 2, Price: 4},
+	})
+}
+
+func TestNewGrid(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil pool accepted")
+	}
+	g, err := New(testPool(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Now() != 0 || g.Pool().Size() != 2 {
+		t.Error("fresh grid state wrong")
+	}
+}
+
+func TestBookValidation(t *testing.T) {
+	g, _ := New(testPool(t))
+	ok := Task{Name: "p1", Node: 0, Span: sim.Interval{Start: 10, End: 50}, Local: true}
+	if err := g.Book(ok); err != nil {
+		t.Fatalf("Book: %v", err)
+	}
+	cases := []Task{
+		{Name: "unknown", Node: 9, Span: sim.Interval{Start: 0, End: 10}},
+		{Name: "empty", Node: 0, Span: sim.Interval{Start: 5, End: 5}},
+		{Name: "inverted", Node: 0, Span: sim.Interval{Start: 10, End: 5}},
+		{Name: "overlap", Node: 0, Span: sim.Interval{Start: 40, End: 60}},
+		{Name: "overlap2", Node: 0, Span: sim.Interval{Start: 0, End: 11}},
+	}
+	for _, c := range cases {
+		if err := g.Book(c); err == nil {
+			t.Errorf("task %s accepted", c.Name)
+		}
+	}
+	// Touching bookings are fine.
+	if err := g.Book(Task{Name: "touch", Node: 0, Span: sim.Interval{Start: 50, End: 60}}); err != nil {
+		t.Errorf("touching booking rejected: %v", err)
+	}
+}
+
+func TestBookLocalByLabel(t *testing.T) {
+	g, _ := New(testPool(t))
+	if err := g.BookLocal("p1", "cpu2", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BookLocal("p2", "nope", 0, 100); err == nil {
+		t.Error("unknown label accepted")
+	}
+	tasks := g.Tasks(1)
+	if len(tasks) != 1 || !tasks[0].Local || tasks[0].Name != "p1" {
+		t.Errorf("Tasks: %v", tasks)
+	}
+}
+
+func TestVacantSlotsComplement(t *testing.T) {
+	g, _ := New(testPool(t))
+	// cpu1 busy [100, 200); cpu2 idle.
+	if err := g.BookLocal("p1", "cpu1", 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	list, err := g.VacantSlots(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect cpu1: [0,100), [200,600); cpu2: [0,600).
+	if list.Len() != 3 {
+		t.Fatalf("Len: got %d, want 3\n%v", list.Len(), list)
+	}
+	if err := list.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if list.TotalTime() != 100+400+600 {
+		t.Errorf("TotalTime: got %v", list.TotalTime())
+	}
+	if _, err := g.VacantSlots(0); err == nil {
+		t.Error("horizon at current time accepted")
+	}
+}
+
+func TestVacantSlotsClampsToHorizon(t *testing.T) {
+	g, _ := New(testPool(t))
+	if err := g.BookLocal("p1", "cpu1", 50, 1000); err != nil {
+		t.Fatal(err)
+	}
+	list, err := g.VacantSlots(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range list.Slots() {
+		if s.End() > 600 {
+			t.Errorf("slot %v escapes horizon", s)
+		}
+	}
+}
+
+func TestCommitAndRollback(t *testing.T) {
+	g, _ := New(testPool(t))
+	pool := g.Pool()
+	s1 := slot.New(pool.Node(0), 0, 100)
+	s2 := slot.New(pool.Node(1), 0, 100)
+	w := &slot.Window{JobName: "job1", Placements: []slot.Placement{
+		{Source: s1, Used: sim.Interval{Start: 10, End: 60}},
+		{Source: s2, Used: sim.Interval{Start: 10, End: 35}},
+	}}
+	if err := g.Commit(w); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if len(g.AllTasks()) != 2 {
+		t.Errorf("AllTasks after commit: %d", len(g.AllTasks()))
+	}
+
+	// A second commit overlapping on cpu2 must fail atomically: the
+	// non-conflicting cpu1 part must be rolled back.
+	w2 := &slot.Window{JobName: "job2", Placements: []slot.Placement{
+		{Source: s1, Used: sim.Interval{Start: 60, End: 80}},
+		{Source: s2, Used: sim.Interval{Start: 60, End: 80}},
+	}}
+	w2bad := &slot.Window{JobName: "job3", Placements: []slot.Placement{
+		{Source: s1, Used: sim.Interval{Start: 80, End: 99}},
+		{Source: s2, Used: sim.Interval{Start: 20, End: 40}}, // overlaps job1
+	}}
+	if err := g.Commit(w2bad); err == nil {
+		t.Fatal("conflicting commit accepted")
+	}
+	if len(g.AllTasks()) != 2 {
+		t.Errorf("failed commit left partial bookings: %d tasks", len(g.AllTasks()))
+	}
+	if err := g.Commit(w2); err != nil {
+		t.Fatalf("valid follow-up commit failed: %v", err)
+	}
+	if g.Commit(&slot.Window{JobName: "bad"}) == nil {
+		t.Error("invalid window accepted")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	g, _ := New(testPool(t))
+	if err := g.BookLocal("done", "cpu1", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BookLocal("running", "cpu1", 150, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Advance(200); err != nil {
+		t.Fatal(err)
+	}
+	if g.Now() != 200 {
+		t.Errorf("Now: %v", g.Now())
+	}
+	tasks := g.Tasks(0)
+	if len(tasks) != 1 || tasks[0].Name != "running" {
+		t.Errorf("straddling task handling wrong: %v", tasks)
+	}
+	if err := g.Advance(100); err == nil {
+		t.Error("backwards advance accepted")
+	}
+	// Booking before the clock must fail.
+	if err := g.BookLocal("late", "cpu1", 150, 180); err == nil {
+		t.Error("booking in the past accepted")
+	}
+	// Vacant slots start at the clock.
+	list, err := g.VacantSlots(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range list.Slots() {
+		if s.Start() < 200 {
+			t.Errorf("slot %v starts before the clock", s)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	g, _ := New(testPool(t))
+	if err := g.BookLocal("p", "cpu1", 0, 300); err != nil {
+		t.Fatal(err)
+	}
+	// cpu1 busy 300 of 600, cpu2 idle → 300 / 1200 = 0.25.
+	if u := g.Utilization(600); u != 0.25 {
+		t.Errorf("Utilization: got %v", u)
+	}
+	if u := g.Utilization(0); u != 0 {
+		t.Errorf("degenerate horizon: got %v", u)
+	}
+}
+
+// TestVacancyComplementProperty: booked time plus vacant time equals the
+// full horizon capacity, and vacant slots never overlap bookings.
+func TestVacancyComplementProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := sim.NewRNG(uint64(seed))
+		pool := resource.MustNewPool([]*resource.Node{
+			{Name: "a", Performance: 1, Price: 1},
+			{Name: "b", Performance: 1, Price: 1},
+			{Name: "c", Performance: 2, Price: 2},
+		})
+		g, err := New(pool)
+		if err != nil {
+			return false
+		}
+		const horizon = sim.Time(1000)
+		for i := 0; i < 15; i++ {
+			node := resource.NodeID(rng.IntN(3))
+			start := sim.Time(rng.IntN(900))
+			end := start.Add(sim.Duration(rng.IntBetween(10, 150)))
+			_ = g.Book(Task{Name: "t", Node: node, Span: sim.Interval{Start: start, End: end}})
+		}
+		list, err := g.VacantSlots(horizon)
+		if err != nil {
+			return false
+		}
+		if err := list.Validate(); err != nil {
+			return false
+		}
+		var booked sim.Duration
+		for _, tk := range g.AllTasks() {
+			booked += tk.Span.Intersect(sim.Interval{Start: 0, End: horizon}).Length()
+		}
+		capacity := sim.Duration(horizon) * sim.Duration(pool.Size())
+		if list.TotalTime()+booked != capacity {
+			return false
+		}
+		// No vacant slot may overlap a booking on the same node.
+		for _, s := range list.Slots() {
+			for _, tk := range g.Tasks(s.Node.ID) {
+				if s.Span.Overlaps(tk.Span) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	g, _ := New(testPool(t))
+	load := LocalLoad{MeanGap: 30, DurMin: 20, DurMax: 60}
+	if err := g.Populate(load, 0, 1000, sim.NewRNG(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.AllTasks()) == 0 {
+		t.Fatal("Populate produced no local tasks")
+	}
+	for _, tk := range g.AllTasks() {
+		if !tk.Local {
+			t.Error("Populate must mark tasks local")
+		}
+		if tk.Span.End > 1000 {
+			t.Errorf("task %v escapes range", tk.Span)
+		}
+	}
+	// Utilization should land in a sane band for gap 30 / dur ~40.
+	u := g.Utilization(1000)
+	if u < 0.3 || u > 0.9 {
+		t.Errorf("Populate utilization %v outside [0.3, 0.9]", u)
+	}
+	// Invalid configs.
+	if err := g.Populate(LocalLoad{MeanGap: -1, DurMin: 1, DurMax: 2}, 0, 100, sim.NewRNG(1)); err == nil {
+		t.Error("negative gap accepted")
+	}
+	if err := g.Populate(LocalLoad{MeanGap: 1, DurMin: 0, DurMax: 2}, 0, 100, sim.NewRNG(1)); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := g.Populate(load, 100, 100, sim.NewRNG(1)); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestPopulateSkipsExistingBookings(t *testing.T) {
+	g, _ := New(testPool(t))
+	// Pre-book a large window; Populate must flow around it.
+	if err := g.BookLocal("pre", "cpu1", 100, 600); err != nil {
+		t.Fatal(err)
+	}
+	load := LocalLoad{MeanGap: 10, DurMin: 30, DurMax: 80}
+	if err := g.Populate(load, 0, 1000, sim.NewRNG(8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range g.Tasks(0) {
+		if tk.Name == "pre" {
+			continue
+		}
+		if tk.Span.Overlaps(sim.Interval{Start: 100, End: 600}) {
+			t.Fatalf("populated task %v overlaps the pre-booked window", tk)
+		}
+	}
+}
+
+func TestPopulateFromBeforeNowClamps(t *testing.T) {
+	g, _ := New(testPool(t))
+	if err := g.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	load := LocalLoad{MeanGap: 20, DurMin: 10, DurMax: 30}
+	if err := g.Populate(load, 0, 900, sim.NewRNG(2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range g.AllTasks() {
+		if tk.Span.Start < 500 {
+			t.Fatalf("task %v starts before the clock", tk)
+		}
+	}
+}
+
+func TestOwnerIncome(t *testing.T) {
+	pool := resource.MustNewPool([]*resource.Node{
+		{Name: "w1", Performance: 1, Price: 2, Domain: "west"},
+		{Name: "e1", Performance: 1, Price: 3, Domain: "east"},
+	})
+	g, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &slot.Window{JobName: "j", Placements: []slot.Placement{
+		{Source: slot.New(pool.Node(0), 0, 200), Used: sim.Interval{Start: 0, End: 50}},
+		{Source: slot.New(pool.Node(1), 0, 200), Used: sim.Interval{Start: 0, End: 50}},
+	}}
+	if err := g.Commit(w); err != nil {
+		t.Fatal(err)
+	}
+	// A local task earns the owner nothing from the VO.
+	if err := g.BookLocal("p1", "w1", 100, 150); err != nil {
+		t.Fatal(err)
+	}
+	byDomain, total := g.OwnerIncome()
+	if !byDomain["west"].ApproxEq(100) || !byDomain["east"].ApproxEq(150) {
+		t.Errorf("per-domain income: %v", byDomain)
+	}
+	if !total.ApproxEq(250) {
+		t.Errorf("total income: %v", total)
+	}
+}

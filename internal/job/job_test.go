@@ -1,0 +1,112 @@
+package job
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ecosched/internal/sim"
+)
+
+func validRequest() ResourceRequest {
+	return ResourceRequest{Nodes: 2, Time: 80, MinPerformance: 1, MaxPrice: 5}
+}
+
+func TestRequestValidate(t *testing.T) {
+	if err := validRequest().Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*ResourceRequest)
+	}{
+		{"zero nodes", func(r *ResourceRequest) { r.Nodes = 0 }},
+		{"negative nodes", func(r *ResourceRequest) { r.Nodes = -1 }},
+		{"zero time", func(r *ResourceRequest) { r.Time = 0 }},
+		{"zero performance", func(r *ResourceRequest) { r.MinPerformance = 0 }},
+		{"negative price", func(r *ResourceRequest) { r.MaxPrice = -1 }},
+		{"NaN price", func(r *ResourceRequest) { r.MaxPrice = sim.Money(math.NaN()) }},
+		{"negative rho", func(r *ResourceRequest) { r.BudgetFactor = -0.5 }},
+	}
+	for _, c := range cases {
+		r := validRequest()
+		c.mod(&r)
+		if r.Validate() == nil {
+			t.Errorf("%s: invalid request accepted", c.name)
+		}
+	}
+}
+
+func TestRequestBudget(t *testing.T) {
+	r := validRequest() // C=5, t=80, N=2
+	if got := r.Budget(); got != 800 {
+		t.Errorf("Budget: got %v, want 800 (= C·t·N)", got)
+	}
+	r.BudgetFactor = 0.8
+	if got := r.Budget(); math.Abs(float64(got-640)) > 1e-9 {
+		t.Errorf("Budget with rho=0.8: got %v, want 640", got)
+	}
+}
+
+func TestRequestRho(t *testing.T) {
+	r := validRequest()
+	if r.Rho() != 1.0 {
+		t.Errorf("default rho: got %v, want 1", r.Rho())
+	}
+	r.BudgetFactor = 0.6
+	if r.Rho() != 0.6 {
+		t.Errorf("explicit rho: got %v", r.Rho())
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	s := validRequest().String()
+	for _, frag := range []string{"N=2", "t=80", "P>=1.00", "C<=5.00"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	j := &Job{Name: "job1", Request: validRequest()}
+	if err := j.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	var nilJob *Job
+	if nilJob.Validate() == nil {
+		t.Error("nil job accepted")
+	}
+	noName := &Job{Request: validRequest()}
+	if noName.Validate() == nil {
+		t.Error("unnamed job accepted")
+	}
+	badReq := &Job{Name: "x", Request: ResourceRequest{}}
+	if badReq.Validate() == nil {
+		t.Error("job with invalid request accepted")
+	}
+}
+
+func TestJobString(t *testing.T) {
+	j := &Job{Name: "job1", Priority: 3, Request: validRequest()}
+	s := j.String()
+	if !strings.Contains(s, "job1") || !strings.Contains(s, "prio=3") {
+		t.Errorf("String: got %q", s)
+	}
+}
+
+func TestRequestDeadlineValidation(t *testing.T) {
+	r := validRequest()
+	r.Deadline = -1
+	if r.Validate() == nil {
+		t.Error("negative deadline accepted")
+	}
+	r.Deadline = 500
+	if err := r.Validate(); err != nil {
+		t.Errorf("positive deadline rejected: %v", err)
+	}
+	r.Deadline = 0
+	if err := r.Validate(); err != nil {
+		t.Errorf("zero (unconstrained) deadline rejected: %v", err)
+	}
+}

@@ -1,0 +1,451 @@
+// Package metasched implements the VO-level metascheduler of the paper's
+// hierarchical model (Section 1–2): it holds the global job queue, runs the
+// two-phase scheduling scheme iteratively against periodically updated local
+// schedules, commits chosen windows as reservations, and postpones jobs that
+// could not be co-allocated to the next iteration.
+package metasched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/dp"
+	"ecosched/internal/gridsim"
+	"ecosched/internal/job"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+	"ecosched/internal/trace"
+)
+
+// Policy selects the batch optimization criterion applied each iteration.
+type Policy int
+
+const (
+	// MinimizeTime picks the combination minimizing total execution time
+	// under the VO budget B* (Eq. 3).
+	MinimizeTime Policy = iota
+	// MinimizeCost picks the combination minimizing total cost under the
+	// occupancy quota T* (Eq. 2).
+	MinimizeCost
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == MinimizeCost {
+		return "minimize-cost"
+	}
+	return "minimize-time"
+}
+
+// Config parameterizes the metascheduler.
+type Config struct {
+	// Algorithm is the single-window search (alloc.ALP{} or alloc.AMP{}).
+	Algorithm alloc.Algorithm
+	// Policy is the per-iteration batch criterion.
+	Policy Policy
+	// Horizon is how far past the current time local schedules are
+	// published each iteration.
+	Horizon sim.Duration
+	// Step is how far the clock advances between iterations.
+	Step sim.Duration
+	// MaxBatch bounds the number of queued jobs scheduled per iteration;
+	// 0 means all.
+	MaxBatch int
+	// MaxPostponements drops a job after this many failed iterations;
+	// 0 means never drop.
+	MaxPostponements int
+	// Search tunes the alternative search.
+	Search alloc.SearchOptions
+	// MaxBudgetStates caps the DP budget-axis resolution (0 = 2000).
+	MaxBudgetStates int
+	// DemandPricing, when non-nil, scales the published slot prices by
+	// the grid's current utilization before each iteration's search —
+	// the supply-and-demand mechanism from the paper's future work.
+	DemandPricing *DemandPricing
+	// Trace, when non-nil, records the session's scheduling decisions
+	// (searches, plan choices, commits, postponements, repricing).
+	Trace *trace.Recorder
+	// LocalArrivals, when non-nil, keeps the resources non-dedicated
+	// across iterations: before each publication, fresh owner-local tasks
+	// are booked into the part of the horizon that became newly visible.
+	LocalArrivals *LocalArrivals
+}
+
+// LocalArrivals configures the owner-local task stream injected as the
+// scheduling horizon slides forward.
+type LocalArrivals struct {
+	// Load is the arrival process (mean gap, duration range).
+	Load gridsim.LocalLoad
+	// RNG drives the arrivals; required.
+	RNG *sim.RNG
+}
+
+// DemandPricing maps utilization to a price factor: factor = MinFactor at
+// idle, MaxFactor at full load, linear in between.
+type DemandPricing struct {
+	MinFactor float64
+	MaxFactor float64
+}
+
+// factor returns the multiplier for the given utilization, clamped to
+// [0, 1].
+func (d *DemandPricing) factor(utilization float64) sim.Money {
+	u := utilization
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return sim.Money(d.MinFactor + (d.MaxFactor-d.MinFactor)*u)
+}
+
+// Validate checks the pricing parameters.
+func (d *DemandPricing) Validate() error {
+	if d.MinFactor <= 0 || d.MaxFactor < d.MinFactor {
+		return fmt.Errorf("metasched: demand pricing factors [%v, %v] invalid", d.MinFactor, d.MaxFactor)
+	}
+	return nil
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Algorithm == nil {
+		return fmt.Errorf("metasched: nil algorithm")
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("metasched: non-positive horizon %v", c.Horizon)
+	}
+	if c.Step <= 0 {
+		return fmt.Errorf("metasched: non-positive step %v", c.Step)
+	}
+	if c.MaxBatch < 0 || c.MaxPostponements < 0 || c.MaxBudgetStates < 0 {
+		return fmt.Errorf("metasched: negative limits in config")
+	}
+	if c.DemandPricing != nil {
+		if err := c.DemandPricing.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.LocalArrivals != nil {
+		if err := c.LocalArrivals.Load.Validate(); err != nil {
+			return err
+		}
+		if c.LocalArrivals.RNG == nil {
+			return fmt.Errorf("metasched: local arrivals need an RNG")
+		}
+	}
+	return nil
+}
+
+// queued tracks a job awaiting scheduling.
+type queued struct {
+	job        *job.Job
+	postponed  int
+	submitTick sim.Time
+}
+
+// Scheduled records a successfully placed job.
+type Scheduled struct {
+	Job    *job.Job
+	Window *dp.Choice
+	// Iteration is the 1-based iteration index that placed the job.
+	Iteration int
+	// WaitTime is the delay from submission to window start.
+	WaitTime sim.Duration
+}
+
+// IterationReport summarizes one scheduling iteration.
+type IterationReport struct {
+	Iteration int
+	Now       sim.Time
+	// BatchSize is the number of jobs attempted this iteration.
+	BatchSize int
+	// Placed lists the jobs committed this iteration.
+	Placed []Scheduled
+	// Postponed lists names of jobs pushed to the next iteration.
+	Postponed []string
+	// Dropped lists names of jobs abandoned (postponement cap).
+	Dropped []string
+	// Alternatives is the total number of windows found for the batch.
+	Alternatives int
+	// PlanTime and PlanCost are the chosen combination's criteria.
+	PlanTime sim.Duration
+	PlanCost sim.Money
+	// PriceFactor is the demand-pricing multiplier applied this iteration
+	// (0 when demand pricing is disabled).
+	PriceFactor float64
+}
+
+// Scheduler is the metascheduler instance bound to a grid.
+type Scheduler struct {
+	cfg   Config
+	grid  *gridsim.Grid
+	queue []*queued
+	iter  int
+	// placed remembers committed jobs by name so node-failure handling
+	// can re-queue them.
+	placed map[string]*job.Job
+	// seededTo marks how far local arrivals have been injected.
+	seededTo sim.Time
+}
+
+// New creates a scheduler over the grid.
+func New(cfg Config, grid *gridsim.Grid) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if grid == nil {
+		return nil, fmt.Errorf("metasched: nil grid")
+	}
+	return &Scheduler{cfg: cfg, grid: grid, placed: make(map[string]*job.Job)}, nil
+}
+
+// Submit enqueues a job for scheduling.
+func (s *Scheduler) Submit(j *job.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	for _, q := range s.queue {
+		if q.job.Name == j.Name {
+			return fmt.Errorf("metasched: job %q already queued", j.Name)
+		}
+	}
+	s.queue = append(s.queue, &queued{job: j, submitTick: s.grid.Now()})
+	return nil
+}
+
+// QueueLength returns the number of jobs awaiting scheduling.
+func (s *Scheduler) QueueLength() int { return len(s.queue) }
+
+// Grid returns the scheduler's grid.
+func (s *Scheduler) Grid() *gridsim.Grid { return s.grid }
+
+// batchForIteration picks up to MaxBatch queued jobs by priority.
+func (s *Scheduler) batchForIteration() []*queued {
+	picked := make([]*queued, len(s.queue))
+	copy(picked, s.queue)
+	// Stable priority order; ties keep submission order.
+	for i := 1; i < len(picked); i++ {
+		for k := i; k > 0 && picked[k].job.Priority < picked[k-1].job.Priority; k-- {
+			picked[k], picked[k-1] = picked[k-1], picked[k]
+		}
+	}
+	if s.cfg.MaxBatch > 0 && len(picked) > s.cfg.MaxBatch {
+		picked = picked[:s.cfg.MaxBatch]
+	}
+	return picked
+}
+
+// RunIteration performs one scheduling iteration: publish local schedules,
+// search alternatives, optimize the combination, commit reservations, and
+// advance the clock by Step. It returns the iteration report; an empty queue
+// still advances time.
+func (s *Scheduler) RunIteration() (*IterationReport, error) {
+	s.iter++
+	rep := &IterationReport{Iteration: s.iter, Now: s.grid.Now()}
+	s.cfg.Trace.BeginIteration(s.iter, s.grid.Now())
+	horizon := s.grid.Now().Add(s.cfg.Horizon)
+	if la := s.cfg.LocalArrivals; la != nil && s.seededTo < horizon {
+		from := s.seededTo
+		if from < s.grid.Now() {
+			from = s.grid.Now()
+		}
+		if err := s.grid.Populate(la.Load, from, horizon, la.RNG); err != nil {
+			return nil, err
+		}
+		s.seededTo = horizon
+	}
+	selected := s.batchForIteration()
+	rep.BatchSize = len(selected)
+	if len(selected) == 0 {
+		return rep, s.grid.Advance(s.grid.Now().Add(s.cfg.Step))
+	}
+
+	jobs := make([]*job.Job, len(selected))
+	for i, q := range selected {
+		jobs[i] = q.job
+	}
+	batch, err := job.NewBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	vacant, err := s.grid.VacantSlots(horizon)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.DemandPricing != nil {
+		factor := s.cfg.DemandPricing.factor(s.grid.Utilization(horizon))
+		rep.PriceFactor = float64(factor)
+		vacant = vacant.Reprice(func(sl slot.Slot) sim.Money { return sl.Price * factor })
+		s.cfg.Trace.Record(trace.Repriced, "", "utilization factor %.3f over %d slots", float64(factor), vacant.Len())
+	}
+	s.cfg.Trace.Record(trace.SearchStarted, "", "%s over %d slots for %d jobs", s.cfg.Algorithm.Name(), vacant.Len(), batch.Len())
+	search, err := alloc.FindAlternatives(s.cfg.Algorithm, vacant, batch, s.cfg.Search)
+	if err != nil {
+		return nil, err
+	}
+	rep.Alternatives = search.TotalAlternatives()
+	for _, j := range batch.Jobs() {
+		ws := search.Alternatives[j.Name]
+		if len(ws) == 0 {
+			s.cfg.Trace.Record(trace.SearchFailed, j.Name, "no suitable window on the current list")
+			continue
+		}
+		for _, w := range ws {
+			s.cfg.Trace.Record(trace.WindowFound, j.Name, "%v", w)
+		}
+	}
+
+	// Only covered jobs enter the optimization; the rest are postponed.
+	var covered []*job.Job
+	for _, j := range batch.Jobs() {
+		if len(search.Alternatives[j.Name]) > 0 {
+			covered = append(covered, j)
+		}
+	}
+	placedNames := map[string]bool{}
+	if len(covered) > 0 {
+		subBatch, err := job.NewBatch(covered)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := s.optimize(subBatch, dp.Alternatives(search.Alternatives))
+		if err != nil {
+			var inf *dp.ErrInfeasible
+			if !errors.As(err, &inf) {
+				return nil, err
+			}
+			// Infeasible combination: postpone the whole batch.
+		} else {
+			s.cfg.Trace.Record(trace.PlanChosen, "", "%s: T=%v C=%v over %d jobs",
+				s.cfg.Policy, plan.TotalTime, plan.TotalCost, len(plan.Choices))
+			for _, ch := range plan.Choices {
+				if err := s.grid.Commit(ch.Window); err != nil {
+					return nil, fmt.Errorf("metasched: committing %s: %w", ch.Job.Name, err)
+				}
+				s.cfg.Trace.Record(trace.Committed, ch.Job.Name, "%v", ch.Window)
+				placedNames[ch.Job.Name] = true
+				s.placed[ch.Job.Name] = ch.Job
+				sub := s.findQueued(ch.Job.Name)
+				wait := ch.Window.Start().Sub(sub.submitTick)
+				rep.Placed = append(rep.Placed, Scheduled{
+					Job:       ch.Job,
+					Window:    &dp.Choice{Job: ch.Job, Window: ch.Window},
+					Iteration: s.iter,
+					WaitTime:  wait,
+				})
+			}
+			rep.PlanTime = plan.TotalTime
+			rep.PlanCost = plan.TotalCost
+		}
+	}
+
+	// Requeue or drop the rest.
+	var remaining []*queued
+	for _, q := range s.queue {
+		if placedNames[q.job.Name] {
+			continue
+		}
+		attempted := false
+		for _, sel := range selected {
+			if sel.job.Name == q.job.Name {
+				attempted = true
+				break
+			}
+		}
+		if attempted {
+			q.postponed++
+			if s.cfg.MaxPostponements > 0 && q.postponed >= s.cfg.MaxPostponements {
+				rep.Dropped = append(rep.Dropped, q.job.Name)
+				s.cfg.Trace.Record(trace.Dropped, q.job.Name, "after %d postponements", q.postponed)
+				continue
+			}
+			rep.Postponed = append(rep.Postponed, q.job.Name)
+			s.cfg.Trace.Record(trace.Postponed, q.job.Name, "postponement %d", q.postponed)
+		}
+		remaining = append(remaining, q)
+	}
+	s.queue = remaining
+	return rep, s.grid.Advance(s.grid.Now().Add(s.cfg.Step))
+}
+
+func (s *Scheduler) findQueued(name string) *queued {
+	for _, q := range s.queue {
+		if q.job.Name == name {
+			return q
+		}
+	}
+	return &queued{}
+}
+
+func (s *Scheduler) optimize(batch *job.Batch, alts dp.Alternatives) (*dp.Plan, error) {
+	limits, err := dp.ComputeLimits(batch, alts)
+	if err != nil {
+		return nil, err
+	}
+	switch s.cfg.Policy {
+	case MinimizeCost:
+		return dp.MinimizeCost(batch, alts, limits.Quota)
+	default:
+		return dp.MinimizeTime(batch, alts, limits.Budget)
+	}
+}
+
+// RunUntilDrained runs iterations until the queue empties or maxIterations
+// is hit, returning all reports.
+func (s *Scheduler) RunUntilDrained(maxIterations int) ([]*IterationReport, error) {
+	var reports []*IterationReport
+	for i := 0; i < maxIterations && len(s.queue) > 0; i++ {
+		rep, err := s.RunIteration()
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// HandleNodeFailure reacts to a node failure (the environment dynamics the
+// paper's Section 7 motivates): the node is marked failed in the grid, all
+// reservations it hosted are cancelled, and — because a parallel job's tasks
+// start synchronously — every affected job's surviving placements are
+// released too. The affected jobs re-enter the queue and are re-scheduled on
+// the remaining nodes at the next iteration. It returns the re-queued job
+// names in deterministic order.
+func (s *Scheduler) HandleNodeFailure(nodeLabel string) ([]string, error) {
+	node := s.grid.Pool().ByName(nodeLabel)
+	if node == nil {
+		return nil, fmt.Errorf("metasched: unknown node %q", nodeLabel)
+	}
+	cancelled, err := s.grid.FailNode(node.ID, s.grid.Now())
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var requeued []string
+	for _, t := range cancelled {
+		if seen[t.Name] {
+			continue
+		}
+		seen[t.Name] = true
+		// Release the job's placements on surviving nodes.
+		s.grid.CancelJob(t.Name)
+		j, known := s.placed[t.Name]
+		if !known {
+			// A reservation not placed by this scheduler (e.g. booked
+			// directly on the grid): nothing to re-queue.
+			continue
+		}
+		delete(s.placed, t.Name)
+		if err := s.Submit(j); err != nil {
+			return requeued, fmt.Errorf("metasched: re-queueing %s: %w", t.Name, err)
+		}
+		s.cfg.Trace.Record(trace.Postponed, t.Name, "re-queued after %s failed", nodeLabel)
+		requeued = append(requeued, t.Name)
+	}
+	sort.Strings(requeued)
+	return requeued, nil
+}

@@ -1,0 +1,103 @@
+package resource
+
+import "fmt"
+
+// Attributes are the non-performance node characteristics a resource request
+// can constrain. Section 2 of the paper lists them alongside clock speed:
+// "characteristics of computational nodes (clock speed, RAM volume, disk
+// space, operating system etc.)". Performance (clock speed) lives directly
+// on Node because it participates in runtime arithmetic; the rest are
+// matched as simple thresholds and an exact-match OS tag.
+type Attributes struct {
+	// RAMMB is the node's memory in megabytes.
+	RAMMB int
+	// DiskGB is the node's scratch disk in gigabytes.
+	DiskGB int
+	// OS is the operating system tag (e.g. "linux"); empty means
+	// unspecified.
+	OS string
+	// Tags are free-form capability labels (e.g. "gpu", "infiniband").
+	Tags []string
+}
+
+// HasTag reports whether the attribute set carries the given label.
+func (a Attributes) HasTag(tag string) bool {
+	for _, t := range a.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate rejects negative capacities.
+func (a Attributes) Validate() error {
+	if a.RAMMB < 0 || a.DiskGB < 0 {
+		return fmt.Errorf("resource: negative attribute capacity (RAM %d MB, disk %d GB)", a.RAMMB, a.DiskGB)
+	}
+	return nil
+}
+
+// Requirements are the attribute thresholds of a resource request. The zero
+// value matches every node.
+type Requirements struct {
+	// MinRAMMB and MinDiskGB are lower bounds; zero means unconstrained.
+	MinRAMMB  int
+	MinDiskGB int
+	// OS, when non-empty, must equal the node's OS tag exactly.
+	OS string
+	// Tags must all be present on the node.
+	Tags []string
+}
+
+// Validate rejects negative thresholds.
+func (r Requirements) Validate() error {
+	if r.MinRAMMB < 0 || r.MinDiskGB < 0 {
+		return fmt.Errorf("resource: negative requirement (RAM %d MB, disk %d GB)", r.MinRAMMB, r.MinDiskGB)
+	}
+	return nil
+}
+
+// Empty reports whether the requirements constrain nothing.
+func (r Requirements) Empty() bool {
+	return r.MinRAMMB == 0 && r.MinDiskGB == 0 && r.OS == "" && len(r.Tags) == 0
+}
+
+// SatisfiedBy reports whether a node with the given attributes meets the
+// requirements.
+func (r Requirements) SatisfiedBy(a Attributes) bool {
+	if a.RAMMB < r.MinRAMMB || a.DiskGB < r.MinDiskGB {
+		return false
+	}
+	if r.OS != "" && a.OS != r.OS {
+		return false
+	}
+	for _, tag := range r.Tags {
+		if !a.HasTag(tag) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the requirements compactly; empty requirements render as
+// "any".
+func (r Requirements) String() string {
+	if r.Empty() {
+		return "any"
+	}
+	s := ""
+	if r.MinRAMMB > 0 {
+		s += fmt.Sprintf("ram>=%dMB ", r.MinRAMMB)
+	}
+	if r.MinDiskGB > 0 {
+		s += fmt.Sprintf("disk>=%dGB ", r.MinDiskGB)
+	}
+	if r.OS != "" {
+		s += "os=" + r.OS + " "
+	}
+	for _, t := range r.Tags {
+		s += "+" + t + " "
+	}
+	return s[:len(s)-1]
+}

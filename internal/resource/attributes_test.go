@@ -1,0 +1,105 @@
+package resource
+
+import "testing"
+
+func TestAttributesValidate(t *testing.T) {
+	if (Attributes{RAMMB: 1024, DiskGB: 10}).Validate() != nil {
+		t.Error("valid attributes rejected")
+	}
+	if (Attributes{RAMMB: -1}).Validate() == nil {
+		t.Error("negative RAM accepted")
+	}
+	if (Attributes{DiskGB: -1}).Validate() == nil {
+		t.Error("negative disk accepted")
+	}
+}
+
+func TestAttributesHasTag(t *testing.T) {
+	a := Attributes{Tags: []string{"gpu", "infiniband"}}
+	if !a.HasTag("gpu") || a.HasTag("fpga") {
+		t.Error("tag lookup wrong")
+	}
+	if (Attributes{}).HasTag("gpu") {
+		t.Error("empty attributes should carry no tags")
+	}
+}
+
+func TestRequirementsValidateAndEmpty(t *testing.T) {
+	if (Requirements{}).Validate() != nil {
+		t.Error("empty requirements rejected")
+	}
+	if !(Requirements{}).Empty() {
+		t.Error("zero requirements should be empty")
+	}
+	if (Requirements{MinRAMMB: -1}).Validate() == nil {
+		t.Error("negative RAM requirement accepted")
+	}
+	if (Requirements{OS: "linux"}).Empty() {
+		t.Error("OS requirement is not empty")
+	}
+	if (Requirements{Tags: []string{"gpu"}}).Empty() {
+		t.Error("tag requirement is not empty")
+	}
+}
+
+func TestRequirementsSatisfiedBy(t *testing.T) {
+	node := Attributes{RAMMB: 8192, DiskGB: 100, OS: "linux", Tags: []string{"gpu"}}
+	cases := []struct {
+		name string
+		req  Requirements
+		want bool
+	}{
+		{"empty matches", Requirements{}, true},
+		{"ram ok", Requirements{MinRAMMB: 4096}, true},
+		{"ram too high", Requirements{MinRAMMB: 16384}, false},
+		{"disk ok", Requirements{MinDiskGB: 100}, true},
+		{"disk too high", Requirements{MinDiskGB: 101}, false},
+		{"os match", Requirements{OS: "linux"}, true},
+		{"os mismatch", Requirements{OS: "windows"}, false},
+		{"tag present", Requirements{Tags: []string{"gpu"}}, true},
+		{"tag missing", Requirements{Tags: []string{"gpu", "fpga"}}, false},
+		{"combined", Requirements{MinRAMMB: 1024, OS: "linux", Tags: []string{"gpu"}}, true},
+	}
+	for _, c := range cases {
+		if got := c.req.SatisfiedBy(node); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNodeSatisfies(t *testing.T) {
+	n := &Node{Name: "n", Performance: 1, Price: 1,
+		Attrs: Attributes{RAMMB: 2048, OS: "linux"}}
+	if !n.Satisfies(Requirements{MinRAMMB: 2048, OS: "linux"}) {
+		t.Error("matching node rejected")
+	}
+	if n.Satisfies(Requirements{OS: "bsd"}) {
+		t.Error("mismatching node accepted")
+	}
+	bad := &Node{Name: "b", Performance: 1, Price: 1, Attrs: Attributes{RAMMB: -5}}
+	if bad.Validate() == nil {
+		t.Error("node with invalid attributes accepted")
+	}
+}
+
+func TestRequirementsString(t *testing.T) {
+	if got := (Requirements{}).String(); got != "any" {
+		t.Errorf("empty requirements: %q", got)
+	}
+	r := Requirements{MinRAMMB: 1024, MinDiskGB: 10, OS: "linux", Tags: []string{"gpu"}}
+	s := r.String()
+	for _, frag := range []string{"ram>=1024MB", "disk>=10GB", "os=linux", "+gpu"} {
+		if !containsStr(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Money is an amount of VO currency ("credits"). Prices per time unit and
+// accumulated usage costs are both Money. The type is float64-based because
+// node prices in the paper's generator are continuous (0.75p..1.25p with
+// p = 1.7^performance); the dynamic-programming optimizer discretizes Money
+// onto an integer grid when it needs exact state indexing (see internal/dp).
+type Money float64
+
+// MoneyEpsilon is the tolerance used by approximate money comparisons.
+// Accumulated float error over a window of at most a few dozen slots stays
+// far below this bound.
+const MoneyEpsilon Money = 1e-6
+
+// LessEq reports whether m <= n up to MoneyEpsilon.
+func (m Money) LessEq(n Money) bool { return m <= n+MoneyEpsilon }
+
+// ApproxEq reports whether m and n differ by at most MoneyEpsilon.
+func (m Money) ApproxEq(n Money) bool {
+	d := m - n
+	if d < 0 {
+		d = -d
+	}
+	return d <= MoneyEpsilon
+}
+
+// Round returns m rounded to the nearest multiple of step. A non-positive
+// step returns m unchanged.
+func (m Money) Round(step Money) Money {
+	if step <= 0 {
+		return m
+	}
+	return Money(math.Round(float64(m)/float64(step))) * step
+}
+
+// String renders the amount with two decimals.
+func (m Money) String() string { return fmt.Sprintf("%.2f", float64(m)) }
+
+// IsFinite reports whether m is neither NaN nor infinite.
+func (m Money) IsFinite() bool {
+	f := float64(m)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a = NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 10-value prefixes")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	child := parent.Split()
+	// The child stream must differ from the parent's continued stream.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("parent and child streams coincide at %d of 50 steps", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestIntN(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]int)
+	for i := 0; i < 6000; i++ {
+		v := r.IntN(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("IntN(6) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 6; v++ {
+		if seen[v] < 700 {
+			t.Errorf("IntN(6): value %d seen only %d/6000 times", v, seen[v])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntN(0) should panic")
+		}
+	}()
+	r.IntN(0)
+}
+
+func TestIntBetween(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		v := r.IntBetween(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntBetween(3,7) out of range: %d", v)
+		}
+	}
+	if r.IntBetween(5, 5) != 5 {
+		t.Error("IntBetween(5,5) must return 5")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntBetween(7,3) should panic")
+		}
+	}()
+	r.IntBetween(7, 3)
+}
+
+func TestDurationBetween(t *testing.T) {
+	r := NewRNG(5)
+	hitLo, hitHi := false, false
+	for i := 0; i < 5000; i++ {
+		v := r.DurationBetween(50, 300)
+		if v < 50 || v > 300 {
+			t.Fatalf("DurationBetween out of range: %v", v)
+		}
+		if v == 50 {
+			hitLo = true
+		}
+		if v == 300 {
+			hitHi = true
+		}
+	}
+	if !hitLo || !hitHi {
+		t.Error("DurationBetween never hit an inclusive bound in 5000 draws")
+	}
+}
+
+func TestFloatBetweenAndMoneyBetween(t *testing.T) {
+	r := NewRNG(6)
+	for i := 0; i < 1000; i++ {
+		v := r.FloatBetween(1, 3)
+		if v < 1 || v >= 3 {
+			t.Fatalf("FloatBetween out of range: %v", v)
+		}
+		m := r.MoneyBetween(0.75, 1.25)
+		if m < 0.75 || m >= 1.25 {
+			t.Fatalf("MoneyBetween out of range: %v", m)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := NewRNG(7)
+	if r.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) must be true")
+	}
+	var hits int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.4) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.4) > 0.02 {
+		t.Errorf("Bool(0.4) frequency %v far from 0.4", frac)
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := NewRNG(8)
+	if r.Exp(0) != 0 || r.Exp(-1) != 0 {
+		t.Error("Exp with non-positive mean must be 0")
+	}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Exp(10)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.5 {
+		t.Errorf("Exp(10) sample mean %v far from 10", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(10)
+	if len(p) != 10 {
+		t.Fatalf("Perm(10) length %d", len(p))
+	}
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm(10) invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	if len(r.Perm(0)) != 0 {
+		t.Error("Perm(0) should be empty")
+	}
+}

@@ -1,0 +1,67 @@
+package slot
+
+import (
+	"testing"
+
+	"ecosched/internal/sim"
+)
+
+// benchBase builds a 140-slot list across 20 nodes.
+func benchBase() *List {
+	ns := buildNodes(20)
+	rng := sim.NewRNG(11)
+	var slots []Slot
+	for i := 0; i < 140; i++ {
+		n := ns[i%len(ns)]
+		start := sim.Time(1000*(i/len(ns))) + sim.Time(rng.IntN(300))
+		slots = append(slots, New(n, start, start.Add(sim.Duration(rng.IntBetween(50, 300)))))
+	}
+	return NewList(slots)
+}
+
+func BenchmarkListInsert(b *testing.B) {
+	base := benchBase()
+	n := base.At(0).Node
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := base.Clone()
+		l.Insert(New(n, sim.Time(50_000+i), sim.Time(50_100+i)))
+	}
+}
+
+func BenchmarkSubtractInterval(b *testing.B) {
+	base := benchBase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := base.Clone()
+		target := l.At(i % l.Len())
+		mid := target.Start().Add(target.Length() / 3)
+		if err := l.SubtractInterval(target, sim.Interval{Start: mid, End: mid.Add(target.Length() / 3)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoalesce(b *testing.B) {
+	base := benchBase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.Coalesce()
+	}
+}
+
+func BenchmarkWindowValidate(b *testing.B) {
+	ns := buildNodes(6)
+	var placements []Placement
+	for _, n := range ns {
+		src := New(n, 0, 500)
+		placements = append(placements, Placement{Source: src, Used: sim.Interval{Start: 100, End: 200}})
+	}
+	w := &Window{JobName: "bench", Placements: placements}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

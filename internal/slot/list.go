@@ -1,0 +1,254 @@
+package slot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+// List is an ordered list of vacant slots sorted by non-decreasing start
+// time — the structure from Fig. 1a that both ALP and AMP scan front to back.
+// Ties on start time keep a deterministic secondary order (node ID, then end
+// time) so experiment runs are reproducible.
+//
+// The zero value is an empty, ready-to-use list.
+type List struct {
+	slots []Slot
+}
+
+// NewList builds a list from the given slots, dropping empty ones and
+// sorting into canonical order.
+func NewList(slots []Slot) *List {
+	l := &List{slots: make([]Slot, 0, len(slots))}
+	for _, s := range slots {
+		if !s.Empty() {
+			l.slots = append(l.slots, s)
+		}
+	}
+	l.sort()
+	return l
+}
+
+func less(a, b Slot) bool {
+	if a.Start() != b.Start() {
+		return a.Start() < b.Start()
+	}
+	var an, bn resource.NodeID = -1, -1
+	if a.Node != nil {
+		an = a.Node.ID
+	}
+	if b.Node != nil {
+		bn = b.Node.ID
+	}
+	if an != bn {
+		return an < bn
+	}
+	return a.End() < b.End()
+}
+
+func (l *List) sort() {
+	sort.SliceStable(l.slots, func(i, j int) bool { return less(l.slots[i], l.slots[j]) })
+}
+
+// Len returns the number of slots in the list.
+func (l *List) Len() int { return len(l.slots) }
+
+// At returns the i-th slot in start-time order.
+func (l *List) At(i int) Slot { return l.slots[i] }
+
+// Slots returns the underlying slice in order. Callers must treat it as
+// read-only; mutate through Insert/Remove/Subtract instead.
+func (l *List) Slots() []Slot { return l.slots }
+
+// Clone returns a deep copy of the list. Node pointers are shared (nodes are
+// immutable during a scheduling iteration).
+func (l *List) Clone() *List {
+	c := &List{slots: make([]Slot, len(l.slots))}
+	copy(c.slots, l.slots)
+	return c
+}
+
+// Insert adds a slot, keeping the canonical order. Empty slots are ignored,
+// matching the paper's rule that zero-span remainders K1/K2 are not added.
+func (l *List) Insert(s Slot) {
+	if s.Empty() {
+		return
+	}
+	i := sort.Search(len(l.slots), func(i int) bool { return less(s, l.slots[i]) })
+	l.slots = append(l.slots, Slot{})
+	copy(l.slots[i+1:], l.slots[i:])
+	l.slots[i] = s
+}
+
+// RemoveAt deletes the i-th slot.
+func (l *List) RemoveAt(i int) {
+	l.slots = append(l.slots[:i], l.slots[i+1:]...)
+}
+
+// indexOf locates a slot equal to s (same node, same span); -1 when absent.
+func (l *List) indexOf(s Slot) int {
+	i := sort.Search(len(l.slots), func(i int) bool { return !less(l.slots[i], s) })
+	for ; i < len(l.slots); i++ {
+		c := l.slots[i]
+		if c.Start() != s.Start() {
+			break
+		}
+		if c.Node == s.Node && c.Span == s.Span {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks every slot and the ordering invariant.
+func (l *List) Validate() error {
+	for i, s := range l.slots {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("slot %d: %w", i, err)
+		}
+		if s.Empty() {
+			return fmt.Errorf("slot %d: empty slot %v retained in list", i, s)
+		}
+		if i > 0 && l.slots[i-1].Start() > s.Start() {
+			return fmt.Errorf("slot %d: start order violated (%v after %v)", i, s, l.slots[i-1])
+		}
+	}
+	return nil
+}
+
+// OverlapOnSameNode reports whether any two slots on the same node overlap —
+// a well-formed vacant list never has such overlaps.
+func (l *List) OverlapOnSameNode() bool {
+	latest := map[*resource.Node]sim.Time{}
+	for _, s := range l.slots {
+		// Sorted by start, so it suffices to compare with the furthest
+		// end seen so far per node.
+		if end, ok := latest[s.Node]; ok && s.Start() < end {
+			return true
+		}
+		if end, ok := latest[s.Node]; !ok || s.End() > end {
+			latest[s.Node] = s.End()
+		}
+	}
+	return false
+}
+
+// TotalTime returns the summed length of all slots.
+func (l *List) TotalTime() sim.Duration {
+	var sum sim.Duration
+	for _, s := range l.slots {
+		sum += s.Length()
+	}
+	return sum
+}
+
+// Nodes returns the distinct nodes that own at least one slot, in first-seen
+// order.
+func (l *List) Nodes() []*resource.Node {
+	seen := map[*resource.Node]bool{}
+	var out []*resource.Node
+	for _, s := range l.slots {
+		if !seen[s.Node] {
+			seen[s.Node] = true
+			out = append(out, s.Node)
+		}
+	}
+	return out
+}
+
+// SubtractInterval removes the usage interval used from the slot equal to
+// target, inserting the up-to-two remainder slots K1 = [K.start, used.start)
+// and K2 = [used.end, K.end) per Fig. 1b. It returns an error when target is
+// not present or used is not contained in target's span.
+func (l *List) SubtractInterval(target Slot, used sim.Interval) error {
+	i := l.indexOf(target)
+	if i < 0 {
+		return fmt.Errorf("slot: subtract: slot %v not found in list", target)
+	}
+	if !target.Span.ContainsInterval(used) {
+		return fmt.Errorf("slot: subtract: interval %v not contained in slot %v", used, target)
+	}
+	l.RemoveAt(i)
+	left := target
+	left.Span = sim.Interval{Start: target.Start(), End: used.Start}
+	right := target
+	right.Span = sim.Interval{Start: used.End, End: target.End()}
+	// Insert keeps order; K1 lands where K was (same start), K2 later.
+	l.Insert(left)
+	l.Insert(right)
+	return nil
+}
+
+// SubtractWindow removes every placement of the window from the list: for
+// each placed slot, the interval actually occupied by its task is cut out of
+// the originating vacant slot. This is the modification applied after a
+// successful search for job i, before searching for job i+1.
+func (l *List) SubtractWindow(w *Window) error {
+	for _, p := range w.Placements {
+		if err := l.SubtractInterval(p.Source, p.Used); err != nil {
+			return fmt.Errorf("slot: subtract window %q: %w", w.JobName, err)
+		}
+	}
+	return nil
+}
+
+// Coalesce merges touching or overlapping slots that share a node and a
+// price, returning a new normalized list. Cancelled reservations re-open
+// vacancy fragments that often abut the surrounding slots; coalescing keeps
+// the list small and the windows the search can build maximal.
+func (l *List) Coalesce() *List {
+	// Group by (node, price), merge within groups, then rebuild.
+	type key struct {
+		node  *resource.Node
+		price sim.Money
+	}
+	groups := make(map[key][]sim.Interval)
+	for _, s := range l.slots {
+		k := key{s.Node, s.Price}
+		groups[k] = append(groups[k], s.Span)
+	}
+	var merged []Slot
+	for k, ivs := range groups {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+		cur := ivs[0]
+		for _, iv := range ivs[1:] {
+			if iv.Start <= cur.End { // touching or overlapping
+				if iv.End > cur.End {
+					cur.End = iv.End
+				}
+				continue
+			}
+			merged = append(merged, Slot{Node: k.node, Price: k.price, Span: cur})
+			cur = iv
+		}
+		merged = append(merged, Slot{Node: k.node, Price: k.price, Span: cur})
+	}
+	return NewList(merged)
+}
+
+// Reprice returns a copy of the list with every slot's price replaced by
+// price(slot). Node pointers are shared; only the per-slot price changes.
+// Used by the demand-adjusted pricing extension, where published prices
+// follow current utilization rather than the node's static price.
+func (l *List) Reprice(price func(Slot) sim.Money) *List {
+	c := l.Clone()
+	for i := range c.slots {
+		c.slots[i].Price = price(c.slots[i])
+	}
+	return c
+}
+
+// String renders the list one slot per line.
+func (l *List) String() string {
+	var b strings.Builder
+	for i, s := range l.slots {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%3d: %v", i, s)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/dp"
+	"ecosched/internal/sim"
+	"ecosched/internal/stats"
+	"ecosched/internal/workload"
+)
+
+// RobustnessConfig parameterizes the failure-injection study.
+type RobustnessConfig struct {
+	// Seed drives scenario generation and failure sampling.
+	Seed uint64
+	// Iterations is the number of scheduling iterations simulated.
+	Iterations int
+	// FailureProb is the per-node failure probability within the horizon.
+	FailureProb float64
+	// Policy orders the contingencies.
+	Policy FallbackPolicy
+	// SlotGen and JobGen produce the per-iteration input; zero values
+	// select the paper's Section 5 generators.
+	SlotGen workload.SlotGenerator
+	JobGen  workload.JobGenerator
+}
+
+// RobustnessPoint aggregates one algorithm's behaviour under failures.
+type RobustnessPoint struct {
+	Algorithm string
+	// Kept counts iterations where the algorithm covered every job.
+	Kept int
+	// CompletionRate and PrimaryRate aggregate over kept iterations.
+	CompletionRate stats.Online
+	PrimaryRate    stats.Online
+	// RedundancyPerJob is the mean contingency count available per job.
+	RedundancyPerJob stats.Online
+	// MeanDelay is the average fallback start slip over completed jobs.
+	MeanDelay stats.Online
+}
+
+// RobustnessStudy quantifies the operational value of the multi-variant
+// search: with node failures injected, a job survives iff one of its
+// alternative windows avoids every failed node — so AMP's larger alternative
+// sets should translate directly into higher batch completion rates than
+// ALP's. This is the extension experiment DESIGN.md lists for the paper's
+// Section 7 future work.
+func RobustnessStudy(cfg RobustnessConfig) (alp, amp *RobustnessPoint, err error) {
+	if cfg.Iterations <= 0 {
+		return nil, nil, fmt.Errorf("strategy: non-positive iterations %d", cfg.Iterations)
+	}
+	if cfg.FailureProb < 0 || cfg.FailureProb > 1 {
+		return nil, nil, fmt.Errorf("strategy: failure probability %v outside [0, 1]", cfg.FailureProb)
+	}
+	if cfg.SlotGen.CountMax == 0 {
+		cfg.SlotGen = workload.PaperSlotGenerator()
+	}
+	if cfg.JobGen.JobsMax == 0 {
+		cfg.JobGen = workload.PaperJobGenerator()
+	}
+	alp = &RobustnessPoint{Algorithm: "ALP"}
+	amp = &RobustnessPoint{Algorithm: "AMP"}
+	root := sim.NewRNG(cfg.Seed)
+	for it := 0; it < cfg.Iterations; it++ {
+		iterRNG := sim.NewRNG(root.Uint64() ^ uint64(it))
+		sc, err := workload.GenerateScenario(cfg.SlotGen, cfg.JobGen, iterRNG)
+		if err != nil {
+			return nil, nil, err
+		}
+		// One failure trace per iteration, shared by both algorithms.
+		var horizon sim.Time
+		for _, s := range sc.Slots.Slots() {
+			if s.End() > horizon {
+				horizon = s.End()
+			}
+		}
+		failures := SampleFailures(sc.Pool, cfg.FailureProb, horizon, iterRNG.Split())
+
+		for _, run := range []struct {
+			algo  alloc.Algorithm
+			point *RobustnessPoint
+		}{
+			{alloc.ALP{}, alp},
+			{alloc.AMP{}, amp},
+		} {
+			if err := runOnce(run.algo, sc, failures, cfg.Policy, run.point); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return alp, amp, nil
+}
+
+func runOnce(algo alloc.Algorithm, sc *workload.Scenario, failures []Failure, policy FallbackPolicy, point *RobustnessPoint) error {
+	search, err := alloc.FindAlternatives(algo, sc.Slots, sc.Batch, alloc.SearchOptions{})
+	if err != nil {
+		return err
+	}
+	if !search.AllJobsCovered(sc.Batch) {
+		return nil
+	}
+	alts := dp.Alternatives(search.Alternatives)
+	limits, err := dp.ComputeLimits(sc.Batch, alts)
+	if err != nil {
+		var inf *dp.ErrInfeasible
+		if errors.As(err, &inf) {
+			return nil
+		}
+		return err
+	}
+	plan, err := dp.MinimizeTime(sc.Batch, alts, limits.Budget)
+	if err != nil {
+		var inf *dp.ErrInfeasible
+		if errors.As(err, &inf) {
+			return nil
+		}
+		return err
+	}
+	st, err := Build(plan, search, policy)
+	if err != nil {
+		return err
+	}
+	rep := st.Execute(failures)
+	point.Kept++
+	point.CompletionRate.Add(rep.CompletionRate())
+	if len(rep.Outcomes) > 0 {
+		point.PrimaryRate.Add(float64(rep.PrimaryCompleted) / float64(len(rep.Outcomes)))
+	}
+	point.RedundancyPerJob.Add(float64(st.TotalRedundancy()) / float64(len(st.Jobs)))
+	if rep.Completed > 0 {
+		point.MeanDelay.Add(float64(rep.TotalDelay) / float64(rep.Completed))
+	}
+	return nil
+}
+
+// RenderRobustness prints the study as a table.
+func RenderRobustness(alp, amp *RobustnessPoint, failureProb float64) string {
+	t := stats.NewTable("metric", "ALP", "AMP")
+	t.AddRow("kept iterations", alp.Kept, amp.Kept)
+	t.AddRow("completion rate", alp.CompletionRate.Mean(), amp.CompletionRate.Mean())
+	t.AddRow("primary survival", alp.PrimaryRate.Mean(), amp.PrimaryRate.Mean())
+	t.AddRow("contingencies per job", alp.RedundancyPerJob.Mean(), amp.RedundancyPerJob.Mean())
+	t.AddRow("mean fallback delay", alp.MeanDelay.Mean(), amp.MeanDelay.Mean())
+	return fmt.Sprintf("node failure probability %.2f\n", failureProb) + t.String()
+}

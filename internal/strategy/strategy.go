@@ -1,0 +1,263 @@
+// Package strategy implements the paper's future-work direction (Section 7,
+// following refs [13, 14]): instead of a single schedule version, build a
+// *scheduling strategy* — an ordered set of fallback execution versions per
+// job — so that the batch survives environment dynamics such as node
+// failures without a full re-scheduling pass.
+//
+// The ingredients come straight from the main scheme: the multi-pass
+// alternative search already produces pairwise-disjoint windows, so any
+// subset of them — one active window plus spares per job — is simultaneously
+// reservable. A Strategy pairs every job's chosen (primary) window with its
+// remaining alternatives as contingencies ordered by a fallback policy, and
+// Execute plays the strategy against an injected failure trace.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/dp"
+	"ecosched/internal/job"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// FallbackPolicy orders a job's contingency windows.
+type FallbackPolicy int
+
+const (
+	// EarliestFirst prefers the contingency with the earliest start —
+	// minimizes completion delay after a failure.
+	EarliestFirst FallbackPolicy = iota
+	// CheapestFirst prefers the cheapest contingency — preserves budget
+	// at the price of delay.
+	CheapestFirst
+)
+
+// String names the policy.
+func (p FallbackPolicy) String() string {
+	if p == CheapestFirst {
+		return "cheapest-first"
+	}
+	return "earliest-first"
+}
+
+// Version is one execution version of a job within a strategy.
+type Version struct {
+	Window *slot.Window
+	// Primary marks the version chosen by the batch optimizer.
+	Primary bool
+}
+
+// JobStrategy is the ordered version list for one job: the primary first,
+// then contingencies in fallback order.
+type JobStrategy struct {
+	Job      *job.Job
+	Versions []Version
+}
+
+// Redundancy returns the number of contingency versions.
+func (js *JobStrategy) Redundancy() int {
+	if len(js.Versions) == 0 {
+		return 0
+	}
+	return len(js.Versions) - 1
+}
+
+// Strategy is a full batch strategy: one JobStrategy per job, all windows
+// across all jobs pairwise disjoint (inherited from the alternative search).
+type Strategy struct {
+	Jobs   []*JobStrategy
+	Policy FallbackPolicy
+}
+
+// Build assembles a strategy from an optimizer plan and the full search
+// result it was chosen from: each job's primary is its plan window, and
+// every other alternative becomes a contingency ordered by the policy.
+func Build(plan *dp.Plan, search *alloc.SearchResult, policy FallbackPolicy) (*Strategy, error) {
+	if plan == nil || search == nil {
+		return nil, fmt.Errorf("strategy: nil plan or search result")
+	}
+	st := &Strategy{Policy: policy}
+	for _, choice := range plan.Choices {
+		alts := search.Alternatives[choice.Job.Name]
+		if len(alts) == 0 {
+			return nil, fmt.Errorf("strategy: job %s has no alternatives in the search result", choice.Job.Name)
+		}
+		js := &JobStrategy{Job: choice.Job}
+		js.Versions = append(js.Versions, Version{Window: choice.Window, Primary: true})
+		var spares []*slot.Window
+		for _, w := range alts {
+			if w != choice.Window {
+				spares = append(spares, w)
+			}
+		}
+		sortSpares(spares, policy)
+		for _, w := range spares {
+			js.Versions = append(js.Versions, Version{Window: w})
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st, nil
+}
+
+func sortSpares(spares []*slot.Window, policy FallbackPolicy) {
+	sort.SliceStable(spares, func(i, k int) bool {
+		a, b := spares[i], spares[k]
+		switch policy {
+		case CheapestFirst:
+			if !a.Cost().ApproxEq(b.Cost()) {
+				return a.Cost() < b.Cost()
+			}
+			return a.Start() < b.Start()
+		default:
+			if a.Start() != b.Start() {
+				return a.Start() < b.Start()
+			}
+			return a.Cost() < b.Cost()
+		}
+	})
+}
+
+// TotalRedundancy returns the summed contingency count over jobs.
+func (s *Strategy) TotalRedundancy() int {
+	var n int
+	for _, js := range s.Jobs {
+		n += js.Redundancy()
+	}
+	return n
+}
+
+// Validate checks that all versions across the whole strategy are pairwise
+// disjoint — the property that makes any fallback switch conflict-free.
+func (s *Strategy) Validate() error {
+	var all []*slot.Window
+	for _, js := range s.Jobs {
+		if len(js.Versions) == 0 {
+			return fmt.Errorf("strategy: job %s has no versions", js.Job.Name)
+		}
+		if !js.Versions[0].Primary {
+			return fmt.Errorf("strategy: job %s first version is not primary", js.Job.Name)
+		}
+		for _, v := range js.Versions {
+			if err := v.Window.Validate(); err != nil {
+				return fmt.Errorf("strategy: job %s: %w", js.Job.Name, err)
+			}
+			all = append(all, v.Window)
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for k := i + 1; k < len(all); k++ {
+			if all[i].Overlaps(all[k]) {
+				return fmt.Errorf("strategy: versions %v and %v overlap", all[i], all[k])
+			}
+		}
+	}
+	return nil
+}
+
+// Failure is one node failure event: the node stops serving at Time and
+// every window placement on it at or after Time is lost.
+type Failure struct {
+	Node *resource.Node
+	Time sim.Time
+}
+
+// windowSurvives reports whether the window completes despite the failures:
+// a failure kills a placement when it strikes the placement's node strictly
+// before the placement finishes.
+func windowSurvives(w *slot.Window, failures []Failure) bool {
+	for _, f := range failures {
+		for _, p := range w.Placements {
+			if p.Source.Node == f.Node && f.Time < p.Used.End {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// JobOutcome records one job's fate under an executed strategy.
+type JobOutcome struct {
+	Job *job.Job
+	// Completed is false when every version was killed by failures.
+	Completed bool
+	// VersionUsed is the index of the surviving version (0 = primary).
+	VersionUsed int
+	// Window is the surviving window (nil if not completed).
+	Window *slot.Window
+	// Delay is the start-time slip relative to the primary version.
+	Delay sim.Duration
+	// ExtraCost is the cost slip relative to the primary version
+	// (negative when the fallback is cheaper).
+	ExtraCost sim.Money
+}
+
+// Report summarizes a strategy execution.
+type Report struct {
+	Outcomes []JobOutcome
+	// Completed counts jobs that finished on some version.
+	Completed int
+	// PrimaryCompleted counts jobs whose primary survived.
+	PrimaryCompleted int
+	// TotalDelay and TotalExtraCost sum the fallback penalties over
+	// completed jobs.
+	TotalDelay     sim.Duration
+	TotalExtraCost sim.Money
+}
+
+// CompletionRate returns Completed / number of jobs.
+func (r *Report) CompletionRate() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(len(r.Outcomes))
+}
+
+// Execute plays the strategy against a failure trace: each job runs its
+// first version not killed by any failure. Because all versions are
+// disjoint, switches never conflict with other jobs' versions.
+func (s *Strategy) Execute(failures []Failure) *Report {
+	rep := &Report{}
+	for _, js := range s.Jobs {
+		out := JobOutcome{Job: js.Job, VersionUsed: -1}
+		primary := js.Versions[0].Window
+		for idx, v := range js.Versions {
+			if windowSurvives(v.Window, failures) {
+				out.Completed = true
+				out.VersionUsed = idx
+				out.Window = v.Window
+				out.Delay = v.Window.Start().Sub(primary.Start())
+				if out.Delay < 0 {
+					out.Delay = 0 // an earlier contingency is not a penalty
+				}
+				out.ExtraCost = v.Window.Cost() - primary.Cost()
+				break
+			}
+		}
+		if out.Completed {
+			rep.Completed++
+			if out.VersionUsed == 0 {
+				rep.PrimaryCompleted++
+			}
+			rep.TotalDelay += out.Delay
+			rep.TotalExtraCost += out.ExtraCost
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+	}
+	return rep
+}
+
+// SampleFailures draws a failure trace: each node of the pool fails
+// independently with probability p, at a uniform time within [0, horizon).
+func SampleFailures(pool *resource.Pool, p float64, horizon sim.Time, rng *sim.RNG) []Failure {
+	var out []Failure
+	for _, n := range pool.Nodes() {
+		if rng.Bool(p) {
+			out = append(out, Failure{Node: n, Time: sim.Time(rng.IntN(int(horizon)))})
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package strategy
+
+import (
+	"testing"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/dp"
+	"ecosched/internal/job"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+	"ecosched/internal/workload"
+)
+
+// buildStrategy assembles a strategy on a three-node environment with
+// multiple alternatives per job.
+func buildStrategy(t *testing.T, policy FallbackPolicy) (*Strategy, *resource.Pool) {
+	t.Helper()
+	pool := resource.MustNewPool([]*resource.Node{
+		{Name: "a", Performance: 1, Price: 1},
+		{Name: "b", Performance: 1, Price: 2},
+		{Name: "c", Performance: 1, Price: 3},
+	})
+	var slots []slot.Slot
+	for _, n := range pool.Nodes() {
+		slots = append(slots, slot.New(n, 0, 600))
+	}
+	list := slot.NewList(slots)
+	batch := job.MustNewBatch([]*job.Job{
+		{Name: "j1", Priority: 1, Request: job.ResourceRequest{
+			Nodes: 1, Time: 100, MinPerformance: 1, MaxPrice: 5}},
+		{Name: "j2", Priority: 2, Request: job.ResourceRequest{
+			Nodes: 1, Time: 80, MinPerformance: 1, MaxPrice: 5}},
+	})
+	search, err := alloc.FindAlternatives(alloc.AMP{}, list, batch, alloc.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alts := dp.Alternatives(search.Alternatives)
+	limits, err := dp.ComputeLimits(batch, alts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dp.MinimizeTime(batch, alts, limits.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(plan, search, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, pool
+}
+
+func TestBuildStrategy(t *testing.T) {
+	st, _ := buildStrategy(t, EarliestFirst)
+	if err := st.Validate(); err != nil {
+		t.Fatalf("strategy invalid: %v", err)
+	}
+	if len(st.Jobs) != 2 {
+		t.Fatalf("jobs: %d", len(st.Jobs))
+	}
+	for _, js := range st.Jobs {
+		if !js.Versions[0].Primary {
+			t.Errorf("%s: first version must be primary", js.Job.Name)
+		}
+		if js.Redundancy() == 0 {
+			t.Errorf("%s: expected contingencies on an idle 3-node grid", js.Job.Name)
+		}
+	}
+	if st.TotalRedundancy() == 0 {
+		t.Error("no redundancy at all")
+	}
+}
+
+func TestBuildRejectsNil(t *testing.T) {
+	if _, err := Build(nil, nil, EarliestFirst); err == nil {
+		t.Error("nil inputs accepted")
+	}
+}
+
+func TestFallbackOrdering(t *testing.T) {
+	early, _ := buildStrategy(t, EarliestFirst)
+	for _, js := range early.Jobs {
+		spares := js.Versions[1:]
+		for i := 1; i < len(spares); i++ {
+			if spares[i].Window.Start() < spares[i-1].Window.Start() {
+				t.Errorf("%s: earliest-first order violated", js.Job.Name)
+			}
+		}
+	}
+	cheap, _ := buildStrategy(t, CheapestFirst)
+	for _, js := range cheap.Jobs {
+		spares := js.Versions[1:]
+		for i := 1; i < len(spares); i++ {
+			if spares[i].Window.Cost() < spares[i-1].Window.Cost()-sim.MoneyEpsilon {
+				t.Errorf("%s: cheapest-first order violated", js.Job.Name)
+			}
+		}
+	}
+	if EarliestFirst.String() != "earliest-first" || CheapestFirst.String() != "cheapest-first" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestExecuteNoFailures(t *testing.T) {
+	st, _ := buildStrategy(t, EarliestFirst)
+	rep := st.Execute(nil)
+	if rep.Completed != 2 || rep.PrimaryCompleted != 2 {
+		t.Errorf("no failures: completed %d primary %d", rep.Completed, rep.PrimaryCompleted)
+	}
+	if rep.CompletionRate() != 1 {
+		t.Errorf("completion rate %v", rep.CompletionRate())
+	}
+	if rep.TotalDelay != 0 || rep.TotalExtraCost != 0 {
+		t.Error("no penalties expected without failures")
+	}
+}
+
+func TestExecuteFallbackOnFailure(t *testing.T) {
+	st, pool := buildStrategy(t, EarliestFirst)
+	// Kill the primary of the first job: fail its node at time 0.
+	primary := st.Jobs[0].Versions[0].Window
+	failed := primary.Placements[0].Source.Node
+	rep := st.Execute([]Failure{{Node: failed, Time: 0}})
+	out := rep.Outcomes[0]
+	if !out.Completed {
+		t.Fatal("job should fall back, not fail")
+	}
+	if out.VersionUsed == 0 {
+		t.Error("primary should have been killed")
+	}
+	if out.Window.UsesNode(failed.Label()) {
+		t.Error("fallback uses the failed node")
+	}
+	_ = pool
+}
+
+func TestExecuteFailureAfterCompletionIsHarmless(t *testing.T) {
+	st, _ := buildStrategy(t, EarliestFirst)
+	primary := st.Jobs[0].Versions[0].Window
+	node := primary.Placements[0].Source.Node
+	// Failure strikes exactly at the placement end: the task already
+	// finished.
+	rep := st.Execute([]Failure{{Node: node, Time: primary.Placements[0].Used.End}})
+	if rep.Outcomes[0].VersionUsed != 0 {
+		t.Error("failure after completion must not kill the primary")
+	}
+}
+
+func TestExecuteTotalLoss(t *testing.T) {
+	st, pool := buildStrategy(t, EarliestFirst)
+	// Fail every node at time 0: nothing survives.
+	var failures []Failure
+	for _, n := range pool.Nodes() {
+		failures = append(failures, Failure{Node: n, Time: 0})
+	}
+	rep := st.Execute(failures)
+	if rep.Completed != 0 {
+		t.Errorf("completed %d with every node dead", rep.Completed)
+	}
+	for _, out := range rep.Outcomes {
+		if out.VersionUsed != -1 || out.Window != nil {
+			t.Error("failed job should report no version")
+		}
+	}
+	if rep.CompletionRate() != 0 {
+		t.Error("completion rate should be 0")
+	}
+}
+
+func TestSampleFailures(t *testing.T) {
+	pool := resource.MustNewPool([]*resource.Node{
+		{Name: "a", Performance: 1, Price: 1},
+		{Name: "b", Performance: 1, Price: 1},
+	})
+	rng := sim.NewRNG(5)
+	if got := SampleFailures(pool, 0, 100, rng); len(got) != 0 {
+		t.Error("p=0 should produce no failures")
+	}
+	got := SampleFailures(pool, 1, 100, rng)
+	if len(got) != 2 {
+		t.Errorf("p=1 should fail every node, got %d", len(got))
+	}
+	for _, f := range got {
+		if f.Time < 0 || f.Time >= 100 {
+			t.Errorf("failure time %v outside horizon", f.Time)
+		}
+	}
+}
+
+func TestRobustnessStudyAMPMoreRobust(t *testing.T) {
+	cfg := RobustnessConfig{
+		Seed:        42,
+		Iterations:  120,
+		FailureProb: 0.25,
+		Policy:      EarliestFirst,
+		SlotGen:     workload.PaperSlotGenerator(),
+		JobGen:      workload.PaperJobGenerator(),
+	}
+	alp, amp, err := RobustnessStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alp.Kept == 0 || amp.Kept == 0 {
+		t.Fatal("study kept nothing")
+	}
+	// The extension's headline: more alternatives → more redundancy →
+	// higher completion under failures.
+	if !(amp.RedundancyPerJob.Mean() > alp.RedundancyPerJob.Mean()) {
+		t.Errorf("AMP redundancy %v not above ALP %v",
+			amp.RedundancyPerJob.Mean(), alp.RedundancyPerJob.Mean())
+	}
+	if !(amp.CompletionRate.Mean() >= alp.CompletionRate.Mean()) {
+		t.Errorf("AMP completion %v below ALP %v",
+			amp.CompletionRate.Mean(), alp.CompletionRate.Mean())
+	}
+	out := RenderRobustness(alp, amp, cfg.FailureProb)
+	if out == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestRobustnessStudyValidation(t *testing.T) {
+	if _, _, err := RobustnessStudy(RobustnessConfig{Iterations: 0}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, _, err := RobustnessStudy(RobustnessConfig{Iterations: 1, FailureProb: 2}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestStrategyValidateCatchesOverlap(t *testing.T) {
+	n := &resource.Node{Name: "x", Performance: 1, Price: 1}
+	src := slot.New(n, 0, 100)
+	w1 := &slot.Window{JobName: "a", Placements: []slot.Placement{
+		{Source: src, Used: sim.Interval{Start: 0, End: 50}}}}
+	w2 := &slot.Window{JobName: "b", Placements: []slot.Placement{
+		{Source: src, Used: sim.Interval{Start: 40, End: 90}}}}
+	st := &Strategy{Jobs: []*JobStrategy{
+		{Job: &job.Job{Name: "a"}, Versions: []Version{{Window: w1, Primary: true}}},
+		{Job: &job.Job{Name: "b"}, Versions: []Version{{Window: w2, Primary: true}}},
+	}}
+	if st.Validate() == nil {
+		t.Error("overlapping versions accepted")
+	}
+}

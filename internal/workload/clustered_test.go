@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+
+	"ecosched/internal/sim"
+)
+
+func TestClusteredGeneratorStructure(t *testing.T) {
+	gen := DefaultClusteredGenerator()
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(4)
+	list, pool, err := gen.Generate(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 48 {
+		t.Fatalf("pool size: %d", pool.Size())
+	}
+	if len(pool.Domains()) != 6 {
+		t.Fatalf("domains: %d", len(pool.Domains()))
+	}
+	if err := list.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if list.OverlapOnSameNode() {
+		t.Fatal("same-node overlap in clustered list")
+	}
+	// Cluster homogeneity: all nodes of a domain share one performance.
+	perf := map[string]float64{}
+	for _, n := range pool.Nodes() {
+		if p, seen := perf[n.Domain]; seen && p != n.Performance {
+			t.Fatalf("domain %s mixes performances %v and %v", n.Domain, p, n.Performance)
+		}
+		perf[n.Domain] = n.Performance
+	}
+	// Same-start groups exist and stay within one domain per release...
+	// releases target one cluster, so every same-(start, length) group
+	// must come from a single domain.
+	type key struct {
+		start sim.Time
+		end   sim.Time
+	}
+	groupDomain := map[key]string{}
+	sameStartGroups := 0
+	for _, s := range list.Slots() {
+		k := key{s.Start(), s.End()}
+		if d, seen := groupDomain[k]; seen {
+			sameStartGroups++
+			if d != s.Node.Domain {
+				t.Fatalf("release group %v spans domains %s and %s", k, d, s.Node.Domain)
+			}
+		} else {
+			groupDomain[k] = s.Node.Domain
+		}
+	}
+	if sameStartGroups == 0 {
+		t.Error("no cluster-wide releases generated")
+	}
+}
+
+func TestClusteredGeneratorValidation(t *testing.T) {
+	mods := []func(*ClusteredSlotGenerator){
+		func(g *ClusteredSlotGenerator) { g.Clusters = 0 },
+		func(g *ClusteredSlotGenerator) { g.Releases = 0 },
+		func(g *ClusteredSlotGenerator) { g.ReleaseWidthMax = g.NodesPerCluster + 1 },
+		func(g *ClusteredSlotGenerator) { g.ReleaseWidthMin = 0 },
+		func(g *ClusteredSlotGenerator) { g.LengthMin = 0 },
+		func(g *ClusteredSlotGenerator) { g.GapMin = -1 },
+		func(g *ClusteredSlotGenerator) { g.PerfMin = 0 },
+		func(g *ClusteredSlotGenerator) { g.Pricing = nil },
+	}
+	for i, mod := range mods {
+		g := DefaultClusteredGenerator()
+		mod(&g)
+		if _, _, err := g.Generate(sim.NewRNG(1)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestClusteredScenarioSchedulable(t *testing.T) {
+	// The clustered list must be usable end to end with the §5 batch.
+	gen := DefaultClusteredGenerator()
+	rng := sim.NewRNG(9)
+	list, _, err := gen.Generate(rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := PaperJobGenerator().Generate(rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = batch
+	if list.Len() < 40 {
+		t.Errorf("clustered list unexpectedly small: %d", list.Len())
+	}
+}

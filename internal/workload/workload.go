@@ -1,0 +1,229 @@
+// Package workload implements the paper's Section 5 simulation input:
+// SlotGenerator produces the ordered list of available system slots with the
+// published distributions, and JobGenerator produces the job batch. All
+// draws come from an explicit sim.RNG, so each of the 25 000 scheduling
+// iterations is reproducible from its seed.
+package workload
+
+import (
+	"fmt"
+
+	"ecosched/internal/job"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// SlotGenerator carries the Section 5 slot-list parameters. The zero value
+// is not useful; call PaperSlotGenerator for the published configuration.
+type SlotGenerator struct {
+	// CountMin/CountMax bound the number of slots ([120, 150] in §5).
+	CountMin, CountMax int
+	// LengthMin/LengthMax bound individual slot lengths ([50, 300]).
+	LengthMin, LengthMax sim.Duration
+	// PerfMin/PerfMax bound node performance ([1, 3] — "relatively
+	// homogeneous" environment).
+	PerfMin, PerfMax float64
+	// SameStartProb is the probability that a slot shares its start time
+	// with the previous slot in the list (0.4 — released cluster slots).
+	SameStartProb float64
+	// GapMin/GapMax bound the start-time gap between neighboring slots
+	// when they do not share a start ([0, 10] in §5; the lower bound is
+	// effectively 1 because a zero gap is the same-start case).
+	GapMin, GapMax sim.Duration
+	// Pricing maps node performance to a per-tick price (§5: uniform in
+	// [0.75p, 1.25p] with p = 1.7^performance).
+	Pricing resource.PricingModel
+}
+
+// PaperSlotGenerator returns the exact Section 5 configuration.
+func PaperSlotGenerator() SlotGenerator {
+	return SlotGenerator{
+		CountMin: 120, CountMax: 150,
+		LengthMin: 50, LengthMax: 300,
+		PerfMin: 1, PerfMax: 3,
+		SameStartProb: 0.4,
+		GapMin:        1, GapMax: 10,
+		Pricing: resource.PaperPricing(),
+	}
+}
+
+// Validate checks the generator parameters.
+func (g SlotGenerator) Validate() error {
+	switch {
+	case g.CountMin <= 0 || g.CountMax < g.CountMin:
+		return fmt.Errorf("workload: slot count range [%d, %d] invalid", g.CountMin, g.CountMax)
+	case g.LengthMin <= 0 || g.LengthMax < g.LengthMin:
+		return fmt.Errorf("workload: slot length range [%v, %v] invalid", g.LengthMin, g.LengthMax)
+	case g.PerfMin <= 0 || g.PerfMax < g.PerfMin:
+		return fmt.Errorf("workload: performance range [%v, %v] invalid", g.PerfMin, g.PerfMax)
+	case g.SameStartProb < 0 || g.SameStartProb > 1:
+		return fmt.Errorf("workload: same-start probability %v outside [0, 1]", g.SameStartProb)
+	case g.GapMin < 0 || g.GapMax < g.GapMin:
+		return fmt.Errorf("workload: gap range [%v, %v] invalid", g.GapMin, g.GapMax)
+	case g.Pricing == nil:
+		return fmt.Errorf("workload: nil pricing model")
+	}
+	return nil
+}
+
+// Generate produces an ordered vacant-slot list. Every slot is hosted on a
+// fresh synthetic node carrying its own performance and price, mirroring the
+// paper's decision to generate the slot list directly "instead of generating
+// the whole distributed system model". The returned pool owns the nodes.
+func (g SlotGenerator) Generate(rng *sim.RNG) (*slot.List, *resource.Pool, error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	count := rng.IntBetween(g.CountMin, g.CountMax)
+	nodes := make([]*resource.Node, 0, count)
+	slots := make([]slot.Slot, 0, count)
+	var start sim.Time
+	for i := 0; i < count; i++ {
+		if i > 0 && !rng.Bool(g.SameStartProb) {
+			gap := g.GapMin
+			if g.GapMax > g.GapMin {
+				gap = rng.DurationBetween(g.GapMin, g.GapMax)
+			}
+			start = start.Add(gap)
+		}
+		perf := rng.FloatBetween(g.PerfMin, g.PerfMax)
+		n := &resource.Node{
+			Name:        fmt.Sprintf("node%d", i),
+			Performance: perf,
+			Price:       g.Pricing.Sample(rng, perf),
+		}
+		nodes = append(nodes, n)
+		length := rng.DurationBetween(g.LengthMin, g.LengthMax)
+		slots = append(slots, slot.New(n, start, start.Add(length)))
+	}
+	pool, err := resource.NewPool(nodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return slot.NewList(slots), pool, nil
+}
+
+// JobGenerator carries the Section 5 batch parameters plus the max-price
+// policy the paper leaves unspecified (see DESIGN.md: C is drawn as a
+// multiple of the base price of a node at the job's minimum performance).
+type JobGenerator struct {
+	// JobsMin/JobsMax bound the batch size ([3, 7] in §5).
+	JobsMin, JobsMax int
+	// NodesMin/NodesMax bound the per-job node count ([1, 6]).
+	NodesMin, NodesMax int
+	// LengthMin/LengthMax bound the etalon job length ([50, 150]).
+	LengthMin, LengthMax sim.Duration
+	// MinPerfLow/MinPerfHigh bound the required minimum performance
+	// ([1, 2] — jobs requiring P ≥ 2 are the heterogeneity factor).
+	MinPerfLow, MinPerfHigh float64
+	// PriceFactorLow/PriceFactorHigh bound the multiplier applied to the
+	// pricing model's base price at the job's minimum performance to get
+	// the per-slot price cap C. This is the repository's substitution for
+	// the paper's unspecified C distribution; [0.95, 1.40] makes the cap
+	// binding (fast nodes priced up to 1.25·1.7^3 ≈ 6.1 exceed caps
+	// around 1.7^1..1.7^2) without starving ALP — calibrated in
+	// EXPERIMENTS.md.
+	PriceFactorLow, PriceFactorHigh float64
+	// BudgetFactor is the ρ coefficient applied to every generated job
+	// (S = ρ·C·t·N); zero means 1 (the paper's main experiments).
+	BudgetFactor float64
+	// Pricing supplies the base price curve; must match the slot
+	// generator's model for the cap to be meaningful.
+	Pricing resource.PricingModel
+}
+
+// PaperJobGenerator returns the Section 5 configuration with this
+// repository's documented C policy.
+func PaperJobGenerator() JobGenerator {
+	return JobGenerator{
+		JobsMin: 3, JobsMax: 7,
+		NodesMin: 1, NodesMax: 6,
+		LengthMin: 50, LengthMax: 150,
+		MinPerfLow: 1, MinPerfHigh: 2,
+		PriceFactorLow: 0.95, PriceFactorHigh: 1.40,
+		Pricing: resource.PaperPricing(),
+	}
+}
+
+// Validate checks the generator parameters.
+func (g JobGenerator) Validate() error {
+	switch {
+	case g.JobsMin <= 0 || g.JobsMax < g.JobsMin:
+		return fmt.Errorf("workload: batch size range [%d, %d] invalid", g.JobsMin, g.JobsMax)
+	case g.NodesMin <= 0 || g.NodesMax < g.NodesMin:
+		return fmt.Errorf("workload: node count range [%d, %d] invalid", g.NodesMin, g.NodesMax)
+	case g.LengthMin <= 0 || g.LengthMax < g.LengthMin:
+		return fmt.Errorf("workload: job length range [%v, %v] invalid", g.LengthMin, g.LengthMax)
+	case g.MinPerfLow <= 0 || g.MinPerfHigh < g.MinPerfLow:
+		return fmt.Errorf("workload: min performance range [%v, %v] invalid", g.MinPerfLow, g.MinPerfHigh)
+	case g.PriceFactorLow <= 0 || g.PriceFactorHigh < g.PriceFactorLow:
+		return fmt.Errorf("workload: price factor range [%v, %v] invalid", g.PriceFactorLow, g.PriceFactorHigh)
+	case g.BudgetFactor < 0:
+		return fmt.Errorf("workload: negative budget factor %v", g.BudgetFactor)
+	case g.Pricing == nil:
+		return fmt.Errorf("workload: nil pricing model")
+	}
+	return nil
+}
+
+// Generate produces a job batch. Jobs are named job1..jobN in priority
+// order (earlier jobs have higher priority, as in the Section 4 example).
+func (g JobGenerator) Generate(rng *sim.RNG) (*job.Batch, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := rng.IntBetween(g.JobsMin, g.JobsMax)
+	jobs := make([]*job.Job, 0, n)
+	for i := 0; i < n; i++ {
+		minPerf := rng.FloatBetween(g.MinPerfLow, g.MinPerfHigh)
+		factor := rng.FloatBetween(g.PriceFactorLow, g.PriceFactorHigh)
+		maxPrice := g.Pricing.BasePrice(minPerf) * sim.Money(factor)
+		jobs = append(jobs, &job.Job{
+			Name:     fmt.Sprintf("job%d", i+1),
+			Priority: i + 1,
+			Request: job.ResourceRequest{
+				Nodes:          rng.IntBetween(g.NodesMin, g.NodesMax),
+				Time:           rng.DurationBetween(g.LengthMin, g.LengthMax),
+				MinPerformance: minPerf,
+				MaxPrice:       maxPrice,
+				BudgetFactor:   g.BudgetFactor,
+			},
+		})
+	}
+	return job.NewBatch(jobs)
+}
+
+// SlotSource produces vacant-slot lists; both SlotGenerator (the paper's
+// statistical model) and ClusteredSlotGenerator (the structural domain
+// model) implement it.
+type SlotSource interface {
+	Generate(rng *sim.RNG) (*slot.List, *resource.Pool, error)
+}
+
+// Scenario bundles one simulated scheduling iteration's input: the vacant
+// slot list and the job batch, with the pool that owns the slot nodes.
+type Scenario struct {
+	Slots *slot.List
+	Pool  *resource.Pool
+	Batch *job.Batch
+}
+
+// GenerateScenario draws a full scheduling-iteration input from both
+// generators using independent sub-streams of rng.
+func GenerateScenario(slotGen SlotGenerator, jobGen JobGenerator, rng *sim.RNG) (*Scenario, error) {
+	return GenerateScenarioFrom(slotGen, jobGen, rng)
+}
+
+// GenerateScenarioFrom is GenerateScenario for any slot source.
+func GenerateScenarioFrom(src SlotSource, jobGen JobGenerator, rng *sim.RNG) (*Scenario, error) {
+	list, pool, err := src.Generate(rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	batch, err := jobGen.Generate(rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Slots: list, Pool: pool, Batch: batch}, nil
+}

@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+func TestPaperSlotGeneratorRanges(t *testing.T) {
+	gen := PaperSlotGenerator()
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		list, pool, err := gen.Generate(rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if list.Len() < 120 || list.Len() > 150 {
+			t.Fatalf("slot count %d outside [120, 150]", list.Len())
+		}
+		if pool.Size() != list.Len() {
+			t.Fatalf("pool size %d != slot count %d", pool.Size(), list.Len())
+		}
+		if err := list.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range list.Slots() {
+			if s.Length() < 50 || s.Length() > 300 {
+				t.Fatalf("slot %d length %v outside [50, 300]", i, s.Length())
+			}
+			p := s.Performance()
+			if p < 1 || p >= 3 {
+				t.Fatalf("slot %d performance %v outside [1, 3)", i, p)
+			}
+			base := resource.PaperPricing().BasePrice(p)
+			if s.Price < base*0.75 || s.Price >= base*1.25 {
+				t.Fatalf("slot %d price %v outside [0.75p, 1.25p) for p=%v", i, s.Price, base)
+			}
+		}
+	}
+}
+
+func TestSlotGeneratorStartStructure(t *testing.T) {
+	gen := PaperSlotGenerator()
+	rng := sim.NewRNG(2)
+	var sameStart, total int
+	for trial := 0; trial < 50; trial++ {
+		list, _, err := gen.Generate(rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots := list.Slots()
+		for i := 1; i < len(slots); i++ {
+			gap := slots[i].Start().Sub(slots[i-1].Start())
+			if gap < 0 || gap > 10 {
+				t.Fatalf("start gap %v outside [0, 10]", gap)
+			}
+			if gap == 0 {
+				sameStart++
+			}
+			total++
+		}
+	}
+	frac := float64(sameStart) / float64(total)
+	// Expect ≈ 0.4 per Section 5.
+	if frac < 0.35 || frac > 0.45 {
+		t.Errorf("same-start fraction %v far from 0.4", frac)
+	}
+}
+
+func TestSlotGeneratorValidation(t *testing.T) {
+	bad := []SlotGenerator{
+		{CountMin: 0, CountMax: 5},
+		{CountMin: 5, CountMax: 1},
+	}
+	for i, g := range bad {
+		if _, _, err := g.Generate(sim.NewRNG(1)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	g := PaperSlotGenerator()
+	g.LengthMin, g.LengthMax = 10, 5
+	if g.Validate() == nil {
+		t.Error("inverted length range accepted")
+	}
+	g = PaperSlotGenerator()
+	g.PerfMin = 0
+	if g.Validate() == nil {
+		t.Error("zero performance accepted")
+	}
+	g = PaperSlotGenerator()
+	g.SameStartProb = 1.5
+	if g.Validate() == nil {
+		t.Error("probability > 1 accepted")
+	}
+	g = PaperSlotGenerator()
+	g.GapMin, g.GapMax = 5, 1
+	if g.Validate() == nil {
+		t.Error("inverted gap range accepted")
+	}
+	g = PaperSlotGenerator()
+	g.Pricing = nil
+	if g.Validate() == nil {
+		t.Error("nil pricing accepted")
+	}
+}
+
+func TestPaperJobGeneratorRanges(t *testing.T) {
+	gen := PaperJobGenerator()
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	for trial := 0; trial < 50; trial++ {
+		batch, err := gen.Generate(rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Len() < 3 || batch.Len() > 7 {
+			t.Fatalf("batch size %d outside [3, 7]", batch.Len())
+		}
+		for _, j := range batch.Jobs() {
+			r := j.Request
+			if r.Nodes < 1 || r.Nodes > 6 {
+				t.Fatalf("nodes %d outside [1, 6]", r.Nodes)
+			}
+			if r.Time < 50 || r.Time > 150 {
+				t.Fatalf("time %v outside [50, 150]", r.Time)
+			}
+			if r.MinPerformance < 1 || r.MinPerformance >= 2 {
+				t.Fatalf("min performance %v outside [1, 2)", r.MinPerformance)
+			}
+			base := resource.PaperPricing().BasePrice(r.MinPerformance)
+			if r.MaxPrice < base*0.95 || r.MaxPrice >= base*1.40 {
+				t.Fatalf("max price %v outside policy band", r.MaxPrice)
+			}
+			if err := j.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestJobGeneratorValidation(t *testing.T) {
+	mods := []func(*JobGenerator){
+		func(g *JobGenerator) { g.JobsMin = 0 },
+		func(g *JobGenerator) { g.JobsMax = 1 },
+		func(g *JobGenerator) { g.NodesMin = 0 },
+		func(g *JobGenerator) { g.LengthMin = 0 },
+		func(g *JobGenerator) { g.MinPerfLow = 0 },
+		func(g *JobGenerator) { g.PriceFactorLow = 0 },
+		func(g *JobGenerator) { g.BudgetFactor = -1 },
+		func(g *JobGenerator) { g.Pricing = nil },
+	}
+	for i, mod := range mods {
+		g := PaperJobGenerator()
+		mod(&g)
+		if g.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := g.Generate(sim.NewRNG(1)); err == nil {
+			t.Errorf("case %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+func TestJobGeneratorBudgetFactorPropagates(t *testing.T) {
+	gen := PaperJobGenerator()
+	gen.BudgetFactor = 0.8
+	batch, err := gen.Generate(sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range batch.Jobs() {
+		if j.Request.Rho() != 0.8 {
+			t.Errorf("job %s rho %v, want 0.8", j.Name, j.Request.Rho())
+		}
+	}
+}
+
+func TestGenerateScenarioDeterminism(t *testing.T) {
+	slotGen, jobGen := PaperSlotGenerator(), PaperJobGenerator()
+	a, err := GenerateScenario(slotGen, jobGen, sim.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateScenario(slotGen, jobGen, sim.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots.Len() != b.Slots.Len() || a.Batch.Len() != b.Batch.Len() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range a.Slots.Slots() {
+		sa, sb := a.Slots.At(i), b.Slots.At(i)
+		if sa.Span != sb.Span || sa.Price != sb.Price {
+			t.Fatalf("slot %d differs between runs", i)
+		}
+	}
+	for i := range a.Batch.Jobs() {
+		ra, rb := a.Batch.At(i).Request, b.Batch.At(i).Request
+		if ra.Nodes != rb.Nodes || ra.Time != rb.Time ||
+			ra.MinPerformance != rb.MinPerformance || ra.MaxPrice != rb.MaxPrice {
+			t.Fatalf("job %d differs between runs", i)
+		}
+	}
+}
+
+// TestScenarioAlwaysValid property: any seed yields a structurally valid
+// scenario.
+func TestScenarioAlwaysValid(t *testing.T) {
+	slotGen, jobGen := PaperSlotGenerator(), PaperJobGenerator()
+	f := func(seed uint64) bool {
+		sc, err := GenerateScenario(slotGen, jobGen, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		if sc.Slots.Validate() != nil || sc.Slots.OverlapOnSameNode() {
+			return false
+		}
+		for _, j := range sc.Batch.Jobs() {
+			if j.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -14,7 +14,9 @@ import (
 // runGridsim drives a multi-iteration metascheduler session on a randomly
 // loaded grid: jobs arrive over time, local owner tasks occupy nodes, and
 // the scheduler places what it can each iteration, postponing the rest.
-func runGridsim(seed uint64) error {
+// parallelism sets the search worker count; the resulting schedule is
+// identical for every value.
+func runGridsim(seed uint64, parallelism int) error {
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	var nodes []*resource.Node
@@ -45,6 +47,7 @@ func runGridsim(seed uint64) error {
 		Step:             200,
 		MaxBatch:         4,
 		MaxPostponements: 5,
+		Parallelism:      parallelism,
 	}, grid)
 	if err != nil {
 		return err

@@ -49,6 +49,7 @@ func run(args []string) error {
 	iterations := fs.Int("iterations", 2000, "simulated scheduling iterations (paper: 25000)")
 	series := fs.Int("series", 300, "kept experiments in the Fig. 5 series")
 	file := fs.String("file", "", "scenario file for export/replay (\"-\" = stdout)")
+	parallelism := fs.Int("parallelism", 1, "worker goroutines for the alternative search (schedules are identical for every value)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -154,7 +155,7 @@ func run(args []string) error {
 		return nil
 	case "baseline":
 		bf, eco, err := experiments.BaselineStudy(experiments.BaselineConfig{
-			Seed: *seed, Trials: *iterations / 50,
+			Seed: *seed, Trials: *iterations / 50, Parallelism: *parallelism,
 		})
 		if err != nil {
 			return err
@@ -164,8 +165,9 @@ func run(args []string) error {
 		return nil
 	case "dynamics":
 		alp, amp, err := experiments.DynamicsStudy(experiments.DynamicsConfig{
-			Seed:     *seed,
-			Sessions: *iterations / 40,
+			Seed:        *seed,
+			Sessions:    *iterations / 40,
+			Parallelism: *parallelism,
 		})
 		if err != nil {
 			return err
@@ -180,7 +182,7 @@ func run(args []string) error {
 	case "pareto":
 		return runPareto(*seed)
 	case "gridsim":
-		return runGridsim(*seed)
+		return runGridsim(*seed, *parallelism)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -238,6 +240,6 @@ subcommands:
   replay    rerun the two-phase scheme on an exported scenario (-file in.json)
   gridsim   multi-iteration metascheduler demo on the grid simulator
 
-flags (per subcommand): -seed N -iterations N -series N -file PATH
+flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism N
 `)
 }

@@ -63,6 +63,49 @@ func BenchmarkTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSearch measures the speculative parallel pipeline against
+// the sequential multi-pass search on the large-batch disjoint-band scenario
+// (many jobs, long scans, rare commit conflicts — the workload the pipeline
+// targets). The p=1 sub-benchmark is the sequential baseline; speedup shows
+// with GOMAXPROCS >= 2 and grows with cores.
+func BenchmarkParallelSearch(b *testing.B) {
+	list, batch := disjointBandsFixture(8, 40, 8)
+	opts := SearchOptions{MaxAlternativesPerJob: 3}
+	for _, parallelism := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", parallelism), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := FindAlternativesParallel(AMP{}, list, batch, opts, parallelism)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalAlternatives() == 0 {
+					b.Fatal("no alternatives found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSearchConflicting measures the adversarial case: the
+// paper's statistical scenario, where every job's window lands near the list
+// front and almost every speculation conflicts. This bounds the overhead of
+// discarded speculative work.
+func BenchmarkParallelSearchConflicting(b *testing.B) {
+	sc, err := workload.GenerateScenario(workload.PaperSlotGenerator(), workload.PaperJobGenerator(), sim.NewRNG(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, parallelism := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p=%d", parallelism), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := FindAlternativesParallel(AMP{}, sc.Slots, sc.Batch, SearchOptions{}, parallelism); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkMultiPassSearch(b *testing.B) {
 	sc, err := workload.GenerateScenario(workload.PaperSlotGenerator(), workload.PaperJobGenerator(), sim.NewRNG(9))
 	if err != nil {

@@ -1,0 +1,192 @@
+package alloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ecosched/internal/job"
+	"ecosched/internal/slot"
+)
+
+// This file implements the concurrent variant of the Section 2 multi-pass
+// alternative search. The sequential scheme is inherently a chain: job i's
+// window is subtracted from the vacant list before job i+1 is searched, so a
+// naive parallelization would change which windows are found. The pipeline
+// here keeps the *commit* order strictly sequential (batch priority order,
+// exactly as FindAlternatives) but runs the expensive window *scans*
+// speculatively in parallel against an immutable snapshot of the list:
+//
+//  1. snapshot the working list (O(1) copy-on-write, slot.List.Snapshot);
+//  2. a worker pool scans every still-pending job of the pass against the
+//     snapshot concurrently — scans are read-only and independent;
+//  3. walk the speculative results in batch order. A result is accepted when
+//     the live list still agrees with the snapshot on the scan's visited
+//     prefix (see below); accepted windows are subtracted from the live list
+//     exactly as the sequential search would. The first job whose prefix was
+//     invalidated by an earlier subtraction aborts the round; it and every
+//     job after it are re-scanned against a fresh snapshot.
+//
+// Equivalence argument. Both ALP and AMP scan the ordered list front to back
+// and are memoryless in the visited prefix: the algorithm's entire behavior —
+// which slots are rejected, which become candidates, when the window
+// completes, and the Stats counters — is a pure function of the sequence of
+// slots examined. Stats.SlotsExamined is incremented for every visited slot
+// (including the one that completed the window or triggered the deadline
+// break), so it is exactly the visited-prefix length. Therefore:
+//
+//   - if the scan returned a window after examining p slots and the live
+//     list's first p slots are identical to the snapshot's, a sequential scan
+//     of the live list visits the same slots and returns the same window with
+//     the same stats;
+//   - if the scan failed after a deadline break at slot p-1, prefix equality
+//     plus the list's start-time ordering guarantees every later live slot is
+//     also past the deadline, so the sequential scan fails identically;
+//   - if the scan exhausted the snapshot (p == snapshot length), the live
+//     list must additionally have no extra slots (subtraction can grow the
+//     list by splitting), hence the stricter same-length check.
+//
+// Any result that fails the check is simply discarded and re-computed — the
+// fallback is the sequential semantics itself, so the parallel search is
+// byte-identical to FindAlternatives for every input, which the differential
+// tests in parallel_test.go and internal/metasched assert over seeded
+// scenarios.
+//
+// Every round accepts at least its first pending job (the live list *is* the
+// snapshot until the round's first subtraction), so progress is guaranteed
+// and the worst case degenerates to the sequential schedule plus discarded
+// speculative work — wasted CPU, never a wrong answer.
+
+// speculative is one job's scan outcome against a round's snapshot.
+type speculative struct {
+	w     *slot.Window
+	stats Stats
+	ok    bool
+}
+
+// consistent reports whether the speculative outcome computed against snap is
+// provably what a fresh scan of live would produce.
+func (sp speculative) consistent(live, snap *slot.List) bool {
+	visited := sp.stats.SlotsExamined
+	if !sp.ok && visited == snap.Len() && live.Len() != snap.Len() {
+		// Exhausted the snapshot without a window: extra live slots could
+		// host one, so the result cannot be trusted.
+		return false
+	}
+	return live.PrefixEqual(snap, visited)
+}
+
+// scanRound runs FindWindow for every job of todo against the immutable
+// snapshot, using at most parallelism goroutines, and returns the outcomes
+// indexed like todo. Worker scheduling is nondeterministic but harmless: each
+// outcome lands in its own slice element and the snapshot is never written.
+func scanRound(algo Algorithm, snap *slot.List, todo []*job.Job, parallelism int) []speculative {
+	out := make([]speculative, len(todo))
+	if parallelism > len(todo) {
+		parallelism = len(todo)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for n := 0; n < parallelism; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) {
+					return
+				}
+				w, stats, ok := algo.FindWindow(snap, todo[i])
+				out[i] = speculative{w: w, stats: stats, ok: ok}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// FindAlternativesParallel is FindAlternatives with the per-job window scans
+// of each pass executed speculatively on up to parallelism goroutines. The
+// result — alternatives, discovery order, pass count, stats, and remaining
+// list — is identical to the sequential search for every input; only the
+// wall-clock time changes. parallelism <= 1 delegates to the sequential
+// implementation.
+func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch, opts SearchOptions, parallelism int) (*SearchResult, error) {
+	if parallelism <= 1 {
+		return FindAlternatives(algo, list, batch, opts)
+	}
+	if algo == nil {
+		return nil, fmt.Errorf("alloc: nil algorithm")
+	}
+	if list == nil {
+		return nil, fmt.Errorf("alloc: nil slot list")
+	}
+	if batch == nil || batch.Len() == 0 {
+		return nil, fmt.Errorf("alloc: empty batch")
+	}
+
+	working := list.Clone()
+	res := &SearchResult{
+		Algorithm:    algo.Name(),
+		Alternatives: make(map[string][]*slot.Window, batch.Len()),
+	}
+
+	maxPasses := opts.MaxPasses
+	perJobCap := opts.MaxAlternativesPerJob
+	if opts.FirstOnly {
+		maxPasses = 1
+		perJobCap = 1
+	}
+
+	for pass := 0; ; pass++ {
+		if maxPasses > 0 && pass >= maxPasses {
+			break
+		}
+		res.Passes++
+		// The jobs this pass scans, in batch priority order. Within one
+		// pass a job gains at most one alternative, so filtering capped
+		// jobs up front matches the sequential per-job check.
+		var todo []*job.Job
+		for _, j := range batch.Jobs() {
+			if perJobCap > 0 && len(res.Alternatives[j.Name]) >= perJobCap {
+				continue
+			}
+			todo = append(todo, j)
+		}
+		foundAny := false
+		for len(todo) > 0 {
+			snap := working.Snapshot()
+			specs := scanRound(algo, snap, todo, parallelism)
+			// Commit in batch order until a conflict invalidates the
+			// remaining speculation.
+			mutated := false
+			accepted := 0
+			for k, sp := range specs {
+				if mutated && !sp.consistent(working, snap) {
+					break
+				}
+				j := todo[k]
+				res.Stats.Add(sp.stats)
+				accepted++
+				if !sp.ok {
+					continue
+				}
+				if err := sp.w.Validate(); err != nil {
+					return nil, fmt.Errorf("alloc: %s produced invalid window: %w", algo.Name(), err)
+				}
+				if err := working.SubtractWindow(sp.w); err != nil {
+					return nil, fmt.Errorf("alloc: subtracting window for %s: %w", j.Name, err)
+				}
+				res.Alternatives[j.Name] = append(res.Alternatives[j.Name], sp.w)
+				foundAny = true
+				mutated = true
+			}
+			todo = todo[accepted:]
+		}
+		if !foundAny {
+			break
+		}
+	}
+	res.Remaining = working
+	return res, nil
+}

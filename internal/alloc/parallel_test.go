@@ -1,0 +1,205 @@
+package alloc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ecosched/internal/job"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+	"ecosched/internal/workload"
+)
+
+// renderResult canonicalizes a SearchResult for byte-level comparison:
+// algorithm, pass count, stats, every job's windows in discovery order, and
+// the remaining list.
+func renderResult(t *testing.T, batch *job.Batch, res *SearchResult) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "algo=%s passes=%d stats=%+v\n", res.Algorithm, res.Passes, res.Stats)
+	for _, j := range batch.Jobs() {
+		fmt.Fprintf(&b, "%s:", j.Name)
+		for _, w := range res.Alternatives[j.Name] {
+			fmt.Fprintf(&b, " %v", w)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("remaining:\n")
+	b.WriteString(res.Remaining.String())
+	return b.String()
+}
+
+// diffScenario builds the seeded scenario for one differential case; odd
+// seeds additionally put a completion deadline on every job to exercise the
+// scan's early-break branch.
+func diffScenario(t *testing.T, seed uint64) (*slot.List, *job.Batch) {
+	t.Helper()
+	sc, err := workload.GenerateScenario(workload.PaperSlotGenerator(), workload.PaperJobGenerator(), sim.NewRNG(seed))
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if seed%2 == 1 {
+		jobs := make([]*job.Job, 0, sc.Batch.Len())
+		for _, j := range sc.Batch.Jobs() {
+			cp := *j
+			cp.Request.Deadline = sim.Time(800 + 50*int64(seed%7))
+			jobs = append(jobs, &cp)
+		}
+		batch, err := job.NewBatch(jobs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return sc.Slots, batch
+	}
+	return sc.Slots, sc.Batch
+}
+
+// TestParallelMatchesSequential is the core differential harness: for many
+// seeded scenarios, algorithms, search options, and parallelism degrees, the
+// parallel pipeline must reproduce the sequential search bit for bit —
+// windows, discovery order, pass count, stats, and the remaining list.
+func TestParallelMatchesSequential(t *testing.T) {
+	algos := []Algorithm{ALP{}, AMP{}, AMP{Policy: FirstN}}
+	options := []SearchOptions{
+		{},
+		{FirstOnly: true},
+		{MaxAlternativesPerJob: 2},
+		{MaxPasses: 3},
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		list, batch := diffScenario(t, seed)
+		for ai, algo := range algos {
+			for oi, opts := range options {
+				seq, err := FindAlternatives(algo, list, batch, opts)
+				if err != nil {
+					t.Fatalf("seed %d algo %d opts %d: sequential: %v", seed, ai, oi, err)
+				}
+				want := renderResult(t, batch, seq)
+				for _, parallelism := range []int{2, 4, 8} {
+					par, err := FindAlternativesParallel(algo, list, batch, opts, parallelism)
+					if err != nil {
+						t.Fatalf("seed %d algo %d opts %d p=%d: parallel: %v", seed, ai, oi, parallelism, err)
+					}
+					got := renderResult(t, batch, par)
+					if got != want {
+						t.Fatalf("seed %d algo %s opts %d p=%d: parallel diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+							seed, algo.Name(), oi, parallelism, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelInputIsUntouched confirms the parallel search never mutates the
+// caller's list, matching the sequential contract.
+func TestParallelInputIsUntouched(t *testing.T) {
+	list, batch := diffScenario(t, 3)
+	before := list.String()
+	if _, err := FindAlternativesParallel(AMP{}, list, batch, SearchOptions{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if list.String() != before {
+		t.Fatal("parallel search mutated the input list")
+	}
+	if err := list.Validate(); err != nil {
+		t.Fatalf("input list invalid after search: %v", err)
+	}
+}
+
+// TestParallelDelegatesAndValidates covers the degenerate and error paths.
+func TestParallelDelegatesAndValidates(t *testing.T) {
+	list, batch := diffScenario(t, 4)
+	seq, err := FindAlternatives(AMP{}, list, batch, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := FindAlternativesParallel(AMP{}, list, batch, SearchOptions{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderResult(t, batch, one) != renderResult(t, batch, seq) {
+		t.Fatal("parallelism=1 did not delegate to the sequential search")
+	}
+	if _, err := FindAlternativesParallel(nil, list, batch, SearchOptions{}, 4); err == nil {
+		t.Fatal("nil algorithm accepted")
+	}
+	if _, err := FindAlternativesParallel(AMP{}, nil, batch, SearchOptions{}, 4); err == nil {
+		t.Fatal("nil list accepted")
+	}
+	if _, err := FindAlternativesParallel(AMP{}, list, nil, SearchOptions{}, 4); err == nil {
+		t.Fatal("nil batch accepted")
+	}
+}
+
+// disjointBandsFixture builds the low-conflict large-batch scenario: classes
+// of tagged nodes whose vacant bands occupy disjoint time ranges, with the
+// highest-priority job's band last. Every job scans (and rejects) the other
+// classes' slots, so scans are long and parallelizable, while subtractions
+// land beyond lower-priority jobs' visited prefixes — the favorable case for
+// speculation. Shared with BenchmarkParallelSearch.
+func disjointBandsFixture(classes, wavesPerClass, nodesPerClass int) (*slot.List, *job.Batch) {
+	var slots []slot.Slot
+	var jobs []*job.Job
+	const (
+		slotLen  = sim.Duration(130)
+		bandGap  = sim.Time(20000)
+		waveStep = sim.Duration(150)
+	)
+	for c := 0; c < classes; c++ {
+		tag := fmt.Sprintf("g%d", c)
+		// Highest-priority job (class 0) owns the latest band.
+		bandStart := sim.Time(int64(classes-1-c)) * bandGap
+		for n := 0; n < nodesPerClass; n++ {
+			node := &resource.Node{
+				Name:        fmt.Sprintf("%s-n%d", tag, n),
+				Performance: 1,
+				Price:       1,
+				Attrs:       resource.Attributes{Tags: []string{tag}},
+			}
+			for w := 0; w < wavesPerClass; w++ {
+				start := bandStart.Add(waveStep * sim.Duration(w))
+				slots = append(slots, slot.New(node, start, start.Add(slotLen)))
+			}
+		}
+		jobs = append(jobs, &job.Job{
+			Name:     fmt.Sprintf("job-%s", tag),
+			Priority: c + 1,
+			Request: job.ResourceRequest{
+				Nodes:          4,
+				Time:           100,
+				MinPerformance: 1,
+				MaxPrice:       2,
+				Needs:          resource.Requirements{Tags: []string{tag}},
+			},
+		})
+	}
+	return slot.NewList(slots), job.MustNewBatch(jobs)
+}
+
+// TestParallelMatchesSequentialDisjointBands runs the differential check on
+// the benchmark's low-conflict fixture, where whole rounds commit without
+// re-scans.
+func TestParallelMatchesSequentialDisjointBands(t *testing.T) {
+	list, batch := disjointBandsFixture(6, 12, 6)
+	opts := SearchOptions{MaxAlternativesPerJob: 3}
+	for _, algo := range []Algorithm{ALP{}, AMP{}} {
+		seq, err := FindAlternatives(algo, list, batch, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := FindAlternativesParallel(algo, list, batch, opts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderResult(t, batch, par), renderResult(t, batch, seq); got != want {
+			t.Fatalf("%s: parallel diverged on disjoint-band fixture\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				algo.Name(), want, got)
+		}
+		if seq.TotalAlternatives() == 0 {
+			t.Fatalf("%s: fixture found no alternatives; fixture broken", algo.Name())
+		}
+	}
+}

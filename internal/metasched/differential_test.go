@@ -1,0 +1,141 @@
+package metasched_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/gridsim"
+	"ecosched/internal/job"
+	"ecosched/internal/metasched"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+// diffSessionTranscript plays one complete seeded metascheduler session and
+// renders every externally observable decision — committed windows, plan
+// criteria, postponements, drops, requeues after a node failure, and the
+// final queue — as a canonical string. Two runs with the same seed must
+// produce the same transcript regardless of Parallelism; that is the
+// determinism contract of the speculative parallel search.
+//
+// The seed also selects configuration variety: demand pricing on seeds
+// divisible by 3, a live owner-local arrival stream on seeds divisible by 4,
+// and a mid-session node failure on seeds divisible by 5, so the differential
+// sweep covers repricing, non-dedicated resources, and the re-queue path.
+func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int) string {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	pricing := resource.PaperPricing()
+	nodes := make([]*resource.Node, 0, 12)
+	for i := 0; i < 12; i++ {
+		perf := rng.FloatBetween(1, 3)
+		nodes = append(nodes, &resource.Node{
+			Name:        fmt.Sprintf("n%d", i+1),
+			Performance: perf,
+			Price:       pricing.Sample(rng, perf),
+		})
+	}
+	pool, err := resource.NewPool(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gridsim.New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.Populate(gridsim.LocalLoad{MeanGap: 150, DurMin: 30, DurMax: 120}, 0, 4000, rng.Split()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := metasched.Config{
+		Algorithm:        algo,
+		Policy:           policy,
+		Horizon:          1200,
+		Step:             150,
+		MaxBatch:         4,
+		MaxPostponements: 3,
+		Parallelism:      parallelism,
+	}
+	if seed%3 == 0 {
+		cfg.DemandPricing = &metasched.DemandPricing{MinFactor: 0.8, MaxFactor: 1.3}
+	}
+	if seed%4 == 0 {
+		cfg.LocalArrivals = &metasched.LocalArrivals{
+			Load: gridsim.LocalLoad{MeanGap: 200, DurMin: 20, DurMax: 90},
+			RNG:  rng.Split(),
+		}
+	}
+	sched, err := metasched.New(cfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		j := &job.Job{
+			Name:     fmt.Sprintf("job%d", i+1),
+			Priority: i + 1,
+			Request: job.ResourceRequest{
+				Nodes:          rng.IntBetween(1, 3),
+				Time:           sim.Duration(rng.IntBetween(50, 150)),
+				MinPerformance: rng.FloatBetween(1, 1.8),
+				MaxPrice:       pricing.BasePrice(1.5) * sim.Money(rng.FloatBetween(1.0, 1.4)),
+			},
+		}
+		if err := sched.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var b strings.Builder
+	for it := 0; it < 10 && sched.QueueLength() > 0; it++ {
+		rep, err := sched.RunIteration()
+		if err != nil {
+			t.Fatalf("seed %d iteration %d: %v", seed, it, err)
+		}
+		fmt.Fprintf(&b, "it=%d now=%v batch=%d alts=%d planT=%v planC=%v pf=%.3f\n",
+			rep.Iteration, rep.Now, rep.BatchSize, rep.Alternatives, rep.PlanTime, rep.PlanCost, rep.PriceFactor)
+		for _, p := range rep.Placed {
+			fmt.Fprintf(&b, "  placed %s -> %v wait=%v\n", p.Job.Name, p.Window.Window, p.WaitTime)
+		}
+		fmt.Fprintf(&b, "  postponed=%v dropped=%v\n", rep.Postponed, rep.Dropped)
+		if it == 1 && seed%5 == 0 {
+			requeued, err := sched.HandleNodeFailure("n3")
+			if err != nil {
+				t.Fatalf("seed %d: node failure: %v", seed, err)
+			}
+			fmt.Fprintf(&b, "  failure n3 requeued=%v\n", requeued)
+		}
+	}
+	fmt.Fprintf(&b, "queue=%d\n", sched.QueueLength())
+	return b.String()
+}
+
+// TestParallelismDifferential drives full metascheduler sessions over 20
+// seeded random scenarios, both algorithms and both batch policies, and
+// asserts the Parallelism >= 4 schedule is byte-identical to the sequential
+// one: same committed windows, same plan times and costs, same postponement
+// and drop decisions, same recovery after failures.
+func TestParallelismDifferential(t *testing.T) {
+	algos := []struct {
+		name string
+		algo alloc.Algorithm
+	}{
+		{"ALP", alloc.ALP{}},
+		{"AMP", alloc.AMP{}},
+	}
+	policies := []metasched.Policy{metasched.MinimizeTime, metasched.MinimizeCost}
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, a := range algos {
+			for _, policy := range policies {
+				want := diffSessionTranscript(t, seed, a.algo, policy, 1)
+				for _, parallelism := range []int{4, 8} {
+					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism)
+					if got != want {
+						t.Fatalf("seed %d %s %v: parallelism=%d transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+							seed, a.name, policy, parallelism, want, got)
+					}
+				}
+			}
+		}
+	}
+}

@@ -58,6 +58,12 @@ type Config struct {
 	MaxPostponements int
 	// Search tunes the alternative search.
 	Search alloc.SearchOptions
+	// Parallelism is the number of goroutines running the per-job window
+	// scans of each iteration's alternative search. 0 or 1 keeps the
+	// classic sequential scan; higher values use the speculative parallel
+	// pipeline (alloc.FindAlternativesParallel), which is guaranteed to
+	// produce the identical schedule — only wall-clock time changes.
+	Parallelism int
 	// MaxBudgetStates caps the DP budget-axis resolution (0 = 2000).
 	MaxBudgetStates int
 	// DemandPricing, when non-nil, scales the published slot prices by
@@ -123,6 +129,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxBatch < 0 || c.MaxPostponements < 0 || c.MaxBudgetStates < 0 {
 		return fmt.Errorf("metasched: negative limits in config")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("metasched: negative parallelism %d", c.Parallelism)
 	}
 	if c.DemandPricing != nil {
 		if err := c.DemandPricing.Validate(); err != nil {
@@ -283,7 +292,7 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 		s.cfg.Trace.Record(trace.Repriced, "", "utilization factor %.3f over %d slots", float64(factor), vacant.Len())
 	}
 	s.cfg.Trace.Record(trace.SearchStarted, "", "%s over %d slots for %d jobs", s.cfg.Algorithm.Name(), vacant.Len(), batch.Len())
-	search, err := alloc.FindAlternatives(s.cfg.Algorithm, vacant, batch, s.cfg.Search)
+	search, err := alloc.FindAlternativesParallel(s.cfg.Algorithm, vacant, batch, s.cfg.Search, s.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -15,8 +15,18 @@ import (
 // time) so experiment runs are reproducible.
 //
 // The zero value is an empty, ready-to-use list.
+//
+// A list supports cheap immutable snapshots (Snapshot) with copy-on-write
+// semantics: taking a snapshot is O(1), and the first mutation of either the
+// original or a descendant after a snapshot copies the backing storage, so a
+// snapshot is never affected by later mutations. Snapshots make the slot list
+// safe to scan from many goroutines while one goroutine keeps committing
+// subtractions to the live list (see internal/alloc's parallel search).
 type List struct {
 	slots []Slot
+	// shared marks the backing array as potentially aliased by a snapshot;
+	// mutators copy before writing when it is set.
+	shared bool
 }
 
 // NewList builds a list from the given slots, dropping empty ones and
@@ -71,12 +81,53 @@ func (l *List) Clone() *List {
 	return c
 }
 
+// Snapshot returns an O(1) immutable view of the list's current state. The
+// snapshot and the original share backing storage until either side mutates;
+// the first mutation copies (copy-on-write), so the snapshot keeps observing
+// exactly the slots present when it was taken. Snapshots are safe to read
+// concurrently as long as Snapshot itself is called from the mutating
+// goroutine before readers start.
+func (l *List) Snapshot() *List {
+	l.shared = true
+	return &List{slots: l.slots, shared: true}
+}
+
+// ensureOwned gives the list sole ownership of its backing storage before a
+// mutation, preserving every outstanding snapshot.
+func (l *List) ensureOwned() {
+	if !l.shared {
+		return
+	}
+	owned := make([]Slot, len(l.slots))
+	copy(owned, l.slots)
+	l.slots = owned
+	l.shared = false
+}
+
+// PrefixEqual reports whether the first n slots of l and other are pairwise
+// identical (same node, price, and span). It is the conflict test of the
+// speculative parallel search: a front-to-back window scan that examined only
+// the first n slots behaves identically on both lists when their n-prefixes
+// match. n larger than either list's length returns false.
+func (l *List) PrefixEqual(other *List, n int) bool {
+	if n > len(l.slots) || n > len(other.slots) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if l.slots[i] != other.slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Insert adds a slot, keeping the canonical order. Empty slots are ignored,
 // matching the paper's rule that zero-span remainders K1/K2 are not added.
 func (l *List) Insert(s Slot) {
 	if s.Empty() {
 		return
 	}
+	l.ensureOwned()
 	i := sort.Search(len(l.slots), func(i int) bool { return less(s, l.slots[i]) })
 	l.slots = append(l.slots, Slot{})
 	copy(l.slots[i+1:], l.slots[i:])
@@ -85,6 +136,7 @@ func (l *List) Insert(s Slot) {
 
 // RemoveAt deletes the i-th slot.
 func (l *List) RemoveAt(i int) {
+	l.ensureOwned()
 	l.slots = append(l.slots[:i], l.slots[i+1:]...)
 }
 

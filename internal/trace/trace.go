@@ -125,11 +125,14 @@ func (r *Recorder) BeginIteration(iteration int, now sim.Time) {
 	r.now = now
 }
 
-// Record appends an event.
+// Record appends an event. The detail string is formatted before the lock is
+// taken so concurrent emitters (e.g. search workers) contend only for the
+// ring insertion, not for each other's formatting work.
 func (r *Recorder) Record(kind Kind, job, detailFormat string, args ...any) {
 	if r == nil || r.capacity <= 0 {
 		return
 	}
+	detail := fmt.Sprintf(detailFormat, args...)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
@@ -139,7 +142,7 @@ func (r *Recorder) Record(kind Kind, job, detailFormat string, args ...any) {
 		Now:       r.now,
 		Kind:      kind,
 		Job:       job,
-		Detail:    fmt.Sprintf(detailFormat, args...),
+		Detail:    detail,
 	}
 	r.events[r.next] = e
 	r.next = (r.next + 1) % r.capacity

@@ -243,6 +243,46 @@ func BenchmarkDPOptimizers(b *testing.B) {
 	})
 }
 
+// BenchmarkDPEngines compares the two combination-optimizer engines on the
+// full per-iteration workload a metascheduler performs — derive B* from T*
+// (Eq. 3), then solve the time-minimization policy — on realistic
+// paper-workload alternative sets. "frontier" is the production sparse
+// engine (one shared backward pass); "dense" is the reference time-axis
+// tables (one table per problem). internal/dp's BenchmarkFrontierDP /
+// BenchmarkDenseDP measure the same comparison on synthetic large-quota and
+// many-alternatives shapes.
+func BenchmarkDPEngines(b *testing.B) {
+	batch, alts := benchAlternatives(b)
+	b.Run("frontier", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fr, err := dp.NewFrontier(batch, alts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			limits, err := fr.Limits()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fr.MinimizeTime(limits.Budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			limits, err := dp.ComputeLimitsDense(batch, alts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dp.MinimizeTimeDense(batch, alts, limits.Budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSearchPasses compares first-window-only search with the full
 // multi-pass alternative search (DESIGN.md §5 ablation).
 func BenchmarkSearchPasses(b *testing.B) {

@@ -28,7 +28,12 @@ func runPareto(seed uint64) error {
 			continue
 		}
 		alts := dp.Alternatives(search.Alternatives)
-		limits, err := dp.ComputeLimits(sc.Batch, alts)
+		// The sparse engine derives both limits in one backward pass.
+		fr, err := dp.NewFrontier(sc.Batch, alts)
+		if err != nil {
+			return err
+		}
+		limits, err := fr.Limits()
 		if err != nil {
 			continue
 		}

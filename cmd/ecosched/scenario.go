@@ -63,12 +63,17 @@ func runReplay(path string) error {
 			continue
 		}
 		alts := dp.Alternatives(res.Alternatives)
-		limits, err := dp.ComputeLimits(sc.Batch, alts)
+		fr, err := dp.NewFrontier(sc.Batch, alts)
 		if err != nil {
 			fmt.Printf("  %s: %v\n", algo.Name(), err)
 			continue
 		}
-		plan, err := dp.MinimizeTime(sc.Batch, alts, limits.Budget)
+		limits, err := fr.Limits()
+		if err != nil {
+			fmt.Printf("  %s: %v\n", algo.Name(), err)
+			continue
+		}
+		plan, err := fr.MinimizeTime(limits.Budget)
 		if err != nil {
 			fmt.Printf("  %s: %v\n", algo.Name(), err)
 			continue

@@ -117,6 +117,8 @@ type (
 	Alternatives = dp.Alternatives
 	// Limits bundles the derived batch limits T* and B*.
 	Limits = dp.Limits
+	// FrontierDP is the sparse dominance-pruned combination optimizer.
+	FrontierDP = dp.Frontier
 )
 
 // Environment and generators.
@@ -201,6 +203,10 @@ var (
 	MinimizeTime = dp.MinimizeTime
 	// MinimizeCost solves min C(s̄) s.t. T(s̄) ≤ T*.
 	MinimizeCost = dp.MinimizeCost
+	// NewFrontier builds the sparse Pareto-frontier DP engine once per
+	// batch; its methods answer every optimization problem and the limit
+	// derivation from one shared backward pass.
+	NewFrontier = dp.NewFrontier
 	// ParetoFront computes every Pareto-optimal (time, cost) combination.
 	ParetoFront = dp.ParetoFront
 	// WeightedSum picks the frontier plan minimizing a weighted criterion.
@@ -247,16 +253,22 @@ func ScheduleBatch(algo Algorithm, list *SlotList, batch *Batch, policy metasche
 		return nil, fmt.Errorf("ecosched: not every job has an execution alternative; postpone the batch")
 	}
 	alts := dp.Alternatives(search.Alternatives)
-	limits, err := dp.ComputeLimits(batch, alts)
+	// One sparse frontier pass answers the limit derivation and the policy
+	// run; see internal/dp/frontier.go.
+	fr, err := dp.NewFrontier(batch, alts)
+	if err != nil {
+		return nil, err
+	}
+	limits, err := fr.Limits()
 	if err != nil {
 		return nil, err
 	}
 	var plan *dp.Plan
 	switch policy {
 	case metasched.MinimizeCost:
-		plan, err = dp.MinimizeCost(batch, alts, limits.Quota)
+		plan, err = fr.MinimizeCost(limits.Quota)
 	default:
-		plan, err = dp.MinimizeTime(batch, alts, limits.Budget)
+		plan, err = fr.MinimizeTime(limits.Budget)
 	}
 	if err != nil {
 		return nil, err

@@ -135,6 +135,11 @@ func TimeQuota(batch *job.Batch, alts Alternatives) (sim.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	return quotaOf(lists), nil
+}
+
+// quotaOf is Eq. (2) over already-collected lists.
+func quotaOf(lists [][]*slot.Window) sim.Duration {
 	var quota sim.Duration
 	for _, ws := range lists {
 		var sum sim.Duration
@@ -143,13 +148,15 @@ func TimeQuota(batch *job.Batch, alts Alternatives) (sim.Duration, error) {
 		}
 		quota += sum / sim.Duration(len(ws)) // floored per-job mean
 	}
-	return quota, nil
+	return quota
 }
 
-// MaxIncome computes B* per Eq. (3): the maximal total cost (resource-owner
-// income) achievable by any combination whose total time fits the quota.
-// It returns the optimal income and the witnessing plan.
-func MaxIncome(batch *job.Batch, alts Alternatives, quota sim.Duration) (sim.Money, *Plan, error) {
+// MaxIncomeDense computes B* per Eq. (3) with the dense-table backward run:
+// the maximal total cost (resource-owner income) achievable by any
+// combination whose total time fits the quota. It returns the optimal income
+// and the witnessing plan. It is the reference oracle for the sparse
+// frontier engine (see frontier.go and MaxIncome).
+func MaxIncomeDense(batch *job.Batch, alts Alternatives, quota sim.Duration) (sim.Money, *Plan, error) {
 	plan, err := runTimeConstrained(batch, alts, quota, maximizeCost)
 	if err != nil {
 		return 0, nil, err
@@ -157,9 +164,10 @@ func MaxIncome(batch *job.Batch, alts Alternatives, quota sim.Duration) (sim.Mon
 	return plan.TotalCost, plan, nil
 }
 
-// MinimizeCost solves min C(s̄) subject to T(s̄) ≤ quota via the backward
-// run over an integral time grid.
-func MinimizeCost(batch *job.Batch, alts Alternatives, quota sim.Duration) (*Plan, error) {
+// MinimizeCostDense solves min C(s̄) subject to T(s̄) ≤ quota via the dense
+// backward run over an integral time grid. It is the reference oracle for
+// the sparse frontier engine (see frontier.go and MinimizeCost).
+func MinimizeCostDense(batch *job.Batch, alts Alternatives, quota sim.Duration) (*Plan, error) {
 	return runTimeConstrained(batch, alts, quota, minimizeCost)
 }
 
@@ -207,7 +215,22 @@ func runTimeConstrained(batch *job.Batch, alts Alternatives, quota sim.Duration,
 	if choice[0][q] < 0 || math.IsNaN(f[0][q]) {
 		return nil, &ErrInfeasible{Problem: "time-constrained selection", Limit: fmt.Sprintf("T* = %d", q)}
 	}
-	return recover(batch, lists, choice, q), nil
+	// Canonical tie-break: recover from the smallest quota achieving the
+	// optimum, so among cost-equal combinations the fastest one is chosen
+	// (and, within the recovery walk, the lexicographically first
+	// alternative indices). This makes the dense plan the unique Pareto
+	// point the sparse frontier engine produces, so the two implementations
+	// agree choice-for-choice, not just on the optimal value. f is monotone
+	// in the quota and every plan's cost is a fixed backward float sum, so
+	// the equality below is exact, never approximate.
+	z := q
+	for t := 0; t < q; t++ {
+		if !math.IsNaN(f[0][t]) && f[0][t] == f[0][q] {
+			z = t
+			break
+		}
+	}
+	return recover(batch, lists, choice, z), nil
 }
 
 // costTable builds the minimize-cost backward-run table over the integral

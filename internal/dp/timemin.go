@@ -14,7 +14,9 @@ import (
 // (hundreds of credits).
 const DefaultMoneyGrid sim.Money = 1.0
 
-// MinimizeTime solves min T(s̄) subject to C(s̄) ≤ budget exactly.
+// MinimizeTimeDense solves min T(s̄) subject to C(s̄) ≤ budget exactly with
+// the dense-table backward run. It is the reference oracle for the sparse
+// frontier engine (see frontier.go and MinimizeTime).
 //
 // Rather than discretizing the continuous money axis, it runs the backward
 // run of Eq. (1) over the integral time axis — computing, for every total
@@ -22,7 +24,7 @@ const DefaultMoneyGrid sim.Money = 1.0
 // smallest T with f(T) ≤ budget. Time is native ticks, so no rounding is
 // involved; in particular a budget that is exactly attainable (B* from
 // Eq. (3) with a single combination) is correctly feasible.
-func MinimizeTime(batch *job.Batch, alts Alternatives, budget sim.Money) (*Plan, error) {
+func MinimizeTimeDense(batch *job.Batch, alts Alternatives, budget sim.Money) (*Plan, error) {
 	lists, err := collect(batch, alts)
 	if err != nil {
 		return nil, err
@@ -140,15 +142,16 @@ type Limits struct {
 	Budget sim.Money
 }
 
-// ComputeLimits derives T* and B* for a batch from its alternatives,
+// ComputeLimitsDense derives T* and B* with the dense-table oracle,
 // following the paper's order: Eq. (2) first, then Eq. (3) as the maximal
-// owner income under T*.
-func ComputeLimits(batch *job.Batch, alts Alternatives) (Limits, error) {
+// owner income under T*. The frontier-backed ComputeLimits is the production
+// path; this one exists for differential testing.
+func ComputeLimitsDense(batch *job.Batch, alts Alternatives) (Limits, error) {
 	quota, err := TimeQuota(batch, alts)
 	if err != nil {
 		return Limits{}, err
 	}
-	budget, _, err := MaxIncome(batch, alts, quota)
+	budget, _, err := MaxIncomeDense(batch, alts, quota)
 	if err != nil {
 		return Limits{}, fmt.Errorf("dp: deriving B* from T*=%v: %w", quota, err)
 	}

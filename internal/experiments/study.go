@@ -166,7 +166,13 @@ func runAlgorithm(algo alloc.Algorithm, sc *workload.Scenario, obj Objective, cf
 		return &iterationOutcome{search: res}, false, nil
 	}
 	alts := dp.Alternatives(res.Alternatives)
-	limits, err := dp.ComputeLimits(sc.Batch, alts)
+	// One sparse backward pass serves the limit derivation and the policy
+	// run; only the money-grid ablation still needs its dedicated table.
+	fr, err := dp.NewFrontier(sc.Batch, alts)
+	if err != nil {
+		return nil, false, err
+	}
+	limits, err := fr.Limits()
 	if err != nil {
 		var inf *dp.ErrInfeasible
 		if errors.As(err, &inf) {
@@ -184,10 +190,10 @@ func runAlgorithm(algo alloc.Algorithm, sc *workload.Scenario, obj Objective, cf
 			}
 			plan, err = dp.MinimizeTimeGrid(sc.Batch, alts, limits.Budget, grid)
 		} else {
-			plan, err = dp.MinimizeTime(sc.Batch, alts, limits.Budget)
+			plan, err = fr.MinimizeTime(limits.Budget)
 		}
 	case CostMin:
-		plan, err = dp.MinimizeCost(sc.Batch, alts, limits.Quota)
+		plan, err = fr.MinimizeCost(limits.Quota)
 	default:
 		return nil, false, fmt.Errorf("experiments: unknown objective %d", obj)
 	}

@@ -17,14 +17,16 @@ import (
 // renders every externally observable decision — committed windows, plan
 // criteria, postponements, drops, requeues after a node failure, and the
 // final queue — as a canonical string. Two runs with the same seed must
-// produce the same transcript regardless of Parallelism; that is the
-// determinism contract of the speculative parallel search.
+// produce the same transcript regardless of Parallelism (the determinism
+// contract of the speculative parallel search) and regardless of useDense
+// (the plan-identity contract of the sparse frontier DP versus the dense
+// reference tables).
 //
 // The seed also selects configuration variety: demand pricing on seeds
 // divisible by 3, a live owner-local arrival stream on seeds divisible by 4,
 // and a mid-session node failure on seeds divisible by 5, so the differential
 // sweep covers repricing, non-dedicated resources, and the re-queue path.
-func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int) string {
+func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense bool) string {
 	t.Helper()
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
@@ -56,6 +58,7 @@ func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, poli
 		MaxBatch:         4,
 		MaxPostponements: 3,
 		Parallelism:      parallelism,
+		UseDenseDP:       useDense,
 	}
 	if seed%3 == 0 {
 		cfg.DemandPricing = &metasched.DemandPricing{MinFactor: 0.8, MaxFactor: 1.3}
@@ -127,13 +130,42 @@ func TestParallelismDifferential(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		for _, a := range algos {
 			for _, policy := range policies {
-				want := diffSessionTranscript(t, seed, a.algo, policy, 1)
+				want := diffSessionTranscript(t, seed, a.algo, policy, 1, false)
 				for _, parallelism := range []int{4, 8} {
-					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism)
+					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false)
 					if got != want {
 						t.Fatalf("seed %d %s %v: parallelism=%d transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
 							seed, a.name, policy, parallelism, want, got)
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierDenseDifferential drives full metascheduler sessions over 20
+// seeded random scenarios — both algorithms, both batch policies, demand
+// pricing and local arrivals mixed in by the seed schedule — and asserts the
+// sparse frontier DP produces a byte-identical session transcript to the
+// dense reference tables: same committed windows, same plan times and
+// costs, same postponements, drops, and failure recovery.
+func TestFrontierDenseDifferential(t *testing.T) {
+	algos := []struct {
+		name string
+		algo alloc.Algorithm
+	}{
+		{"ALP", alloc.ALP{}},
+		{"AMP", alloc.AMP{}},
+	}
+	policies := []metasched.Policy{metasched.MinimizeTime, metasched.MinimizeCost}
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, a := range algos {
+			for _, policy := range policies {
+				dense := diffSessionTranscript(t, seed, a.algo, policy, 1, true)
+				frontier := diffSessionTranscript(t, seed, a.algo, policy, 1, false)
+				if dense != frontier {
+					t.Fatalf("seed %d %s %v: frontier transcript diverged from dense oracle\n--- dense ---\n%s\n--- frontier ---\n%s",
+						seed, a.name, policy, dense, frontier)
 				}
 			}
 		}

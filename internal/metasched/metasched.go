@@ -64,8 +64,20 @@ type Config struct {
 	// pipeline (alloc.FindAlternativesParallel), which is guaranteed to
 	// produce the identical schedule — only wall-clock time changes.
 	Parallelism int
-	// MaxBudgetStates caps the DP budget-axis resolution (0 = 2000).
+	// MaxBudgetStates, when positive, switches the minimize-time optimizer
+	// to the approximate money-grid DP (dp.MinimizeTimeGrid) with grid
+	// step max(1, B*/MaxBudgetStates) — the same DP-granularity knob as
+	// experiments.StudyConfig.MaxBudgetStates. 0 keeps the exact engine.
+	// Ignored under the minimize-cost policy, whose constraint axis is
+	// integral time and needs no discretization.
 	MaxBudgetStates int
+	// UseDenseDP switches the combination optimizer from the sparse
+	// Pareto-frontier engine (dp.NewFrontier) to the dense reference
+	// tables. The two are proven plan-identical by differential tests;
+	// the dense path exists as the oracle and costs O(n·q) time and
+	// memory per iteration instead of scaling with the number of distinct
+	// (time, cost) trade-offs.
+	UseDenseDP bool
 	// DemandPricing, when non-nil, scales the published slot prices by
 	// the grid's current utilization before each iteration's search —
 	// the supply-and-demand mechanism from the paper's future work.
@@ -212,7 +224,11 @@ func New(cfg Config, grid *gridsim.Grid) (*Scheduler, error) {
 	return &Scheduler{cfg: cfg, grid: grid, placed: make(map[string]*job.Job)}, nil
 }
 
-// Submit enqueues a job for scheduling.
+// Submit enqueues a job for scheduling. Names must be unique among live
+// jobs: re-submitting a queued name is rejected, and so is a name that is
+// already placed — accepting it would leave two jobs sharing one s.placed
+// entry, making failure handling and CancelJob release the wrong
+// reservations.
 func (s *Scheduler) Submit(j *job.Job) error {
 	if err := j.Validate(); err != nil {
 		return err
@@ -221,6 +237,9 @@ func (s *Scheduler) Submit(j *job.Job) error {
 		if q.job.Name == j.Name {
 			return fmt.Errorf("metasched: job %q already queued", j.Name)
 		}
+	}
+	if _, ok := s.placed[j.Name]; ok {
+		return fmt.Errorf("metasched: job %q already placed", j.Name)
 	}
 	s.queue = append(s.queue, &queued{job: j, submitTick: s.grid.Now()})
 	return nil
@@ -237,11 +256,9 @@ func (s *Scheduler) batchForIteration() []*queued {
 	picked := make([]*queued, len(s.queue))
 	copy(picked, s.queue)
 	// Stable priority order; ties keep submission order.
-	for i := 1; i < len(picked); i++ {
-		for k := i; k > 0 && picked[k].job.Priority < picked[k-1].job.Priority; k-- {
-			picked[k], picked[k-1] = picked[k-1], picked[k]
-		}
-	}
+	sort.SliceStable(picked, func(i, k int) bool {
+		return picked[i].job.Priority < picked[k].job.Priority
+	})
 	if s.cfg.MaxBatch > 0 && len(picked) > s.cfg.MaxBatch {
 		picked = picked[:s.cfg.MaxBatch]
 	}
@@ -339,6 +356,9 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 				placedNames[ch.Job.Name] = true
 				s.placed[ch.Job.Name] = ch.Job
 				sub := s.findQueued(ch.Job.Name)
+				if sub == nil {
+					return nil, fmt.Errorf("metasched: placed job %q is not in the queue", ch.Job.Name)
+				}
 				wait := ch.Window.Start().Sub(sub.submitTick)
 				rep.Placed = append(rep.Placed, Scheduled{
 					Job:       ch.Job,
@@ -381,26 +401,66 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 	return rep, s.grid.Advance(s.grid.Now().Add(s.cfg.Step))
 }
 
+// findQueued returns the queue entry for name, or nil when no such job is
+// queued. Callers placing a job must treat nil as an internal invariant
+// violation: a silently fabricated entry would measure WaitTime from tick 0.
 func (s *Scheduler) findQueued(name string) *queued {
 	for _, q := range s.queue {
 		if q.job.Name == name {
 			return q
 		}
 	}
-	return &queued{}
+	return nil
 }
 
+// optimize runs the second phase of the scheme on the covered sub-batch:
+// derive T* and B*, then solve the configured policy. The production path
+// builds the sparse frontier once and answers both the limit derivation and
+// the policy run from it; the dense path (UseDenseDP) rebuilds a table for
+// each, exactly as the reference formulation does.
 func (s *Scheduler) optimize(batch *job.Batch, alts dp.Alternatives) (*dp.Plan, error) {
-	limits, err := dp.ComputeLimits(batch, alts)
+	if s.cfg.UseDenseDP {
+		limits, err := dp.ComputeLimitsDense(batch, alts)
+		if err != nil {
+			return nil, err
+		}
+		switch s.cfg.Policy {
+		case MinimizeCost:
+			return dp.MinimizeCostDense(batch, alts, limits.Quota)
+		default:
+			if s.cfg.MaxBudgetStates > 0 {
+				return dp.MinimizeTimeGrid(batch, alts, limits.Budget, budgetGrid(limits.Budget, s.cfg.MaxBudgetStates))
+			}
+			return dp.MinimizeTimeDense(batch, alts, limits.Budget)
+		}
+	}
+	fr, err := dp.NewFrontier(batch, alts)
+	if err != nil {
+		return nil, err
+	}
+	limits, err := fr.Limits()
 	if err != nil {
 		return nil, err
 	}
 	switch s.cfg.Policy {
 	case MinimizeCost:
-		return dp.MinimizeCost(batch, alts, limits.Quota)
+		return fr.MinimizeCost(limits.Quota)
 	default:
-		return dp.MinimizeTime(batch, alts, limits.Budget)
+		if s.cfg.MaxBudgetStates > 0 {
+			return dp.MinimizeTimeGrid(batch, alts, limits.Budget, budgetGrid(limits.Budget, s.cfg.MaxBudgetStates))
+		}
+		return fr.MinimizeTime(limits.Budget)
 	}
+}
+
+// budgetGrid maps the MaxBudgetStates cap to a money-grid step: at most
+// states budget-axis cells, never finer than one credit.
+func budgetGrid(budget sim.Money, states int) sim.Money {
+	grid := sim.Money(1)
+	if g := float64(budget) / float64(states); g > 1 {
+		grid = sim.Money(g)
+	}
+	return grid
 }
 
 // RunUntilDrained runs iterations until the queue empties or maxIterations

@@ -473,3 +473,72 @@ func TestLocalArrivalsValidation(t *testing.T) {
 		t.Error("invalid load accepted")
 	}
 }
+
+// TestSubmitRejectsPlacedJob: once a job is committed to the grid its name
+// stays live in the scheduler's placed map (failure handling and CancelJob
+// release reservations by name), so re-submitting that name must be
+// rejected just like a queued duplicate.
+func TestSubmitRejectsPlacedJob(t *testing.T) {
+	grid, batch := section4Grid(t)
+	s, _ := metasched.New(validConfig(), grid)
+	for _, j := range batch.Jobs() {
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Placed) != 3 {
+		t.Fatalf("placed %d jobs, want 3", len(rep.Placed))
+	}
+	if err := s.Submit(batch.At(0)); err == nil {
+		t.Fatal("re-submitting a placed job was accepted; its reservations would alias the old job's")
+	}
+	fresh := *batch.At(0)
+	fresh.Name = "fresh"
+	if err := s.Submit(&fresh); err != nil {
+		t.Fatalf("a genuinely new job was rejected: %v", err)
+	}
+}
+
+// TestMaxBudgetStatesLimitsDPStates proves Config.MaxBudgetStates reaches
+// the optimizer. With states=1 the money grid collapses to one cell of size
+// B*; every alternative's cost ceils to a full cell, so a 3-job batch needs
+// 3 cells against a quota of 1 — infeasible — and the whole batch is
+// postponed. The exact DP (states=0) schedules the same batch outright.
+func TestMaxBudgetStatesLimitsDPStates(t *testing.T) {
+	exactGrid, batch := section4Grid(t)
+	exact, _ := metasched.New(validConfig(), exactGrid)
+	coarseGrid, _ := section4Grid(t)
+	cfg := validConfig()
+	cfg.MaxBudgetStates = 1
+	coarse, err := metasched.New(cfg, coarseGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range batch.Jobs() {
+		if err := exact.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		if err := coarse.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exactRep, err := exact.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exactRep.Placed) != 3 {
+		t.Fatalf("exact DP placed %d jobs, want 3", len(exactRep.Placed))
+	}
+	coarseRep, err := coarse.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coarseRep.Placed) != 0 || len(coarseRep.Postponed) != 3 {
+		t.Fatalf("MaxBudgetStates=1 placed %d / postponed %d; a one-cell budget grid must make the 3-job batch infeasible (field not wired through?)",
+			len(coarseRep.Placed), len(coarseRep.Postponed))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"ecosched/internal/gridsim"
 	"ecosched/internal/job"
 	"ecosched/internal/metasched"
+	"ecosched/internal/metrics"
 	"ecosched/internal/resource"
 	"ecosched/internal/sim"
 )
@@ -15,8 +16,9 @@ import (
 // loaded grid: jobs arrive over time, local owner tasks occupy nodes, and
 // the scheduler places what it can each iteration, postponing the rest.
 // parallelism sets the search worker count; the resulting schedule is
-// identical for every value.
-func runGridsim(seed uint64, parallelism int) error {
+// identical for every value. reg, when non-nil, collects the session's
+// metrics for the caller's -metrics dump.
+func runGridsim(seed uint64, parallelism int, reg *metrics.Registry) error {
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	var nodes []*resource.Node
@@ -37,6 +39,9 @@ func runGridsim(seed uint64, parallelism int) error {
 	if err != nil {
 		return err
 	}
+	// Attach before the initial Populate so the seed load is counted too;
+	// metasched.New re-resolves the same instruments from the registry.
+	grid.SetMetrics(gridsim.NewMetrics(reg))
 	if err := grid.Populate(gridsim.LocalLoad{MeanGap: 120, DurMin: 40, DurMax: 160}, 0, 2400, rng.Split()); err != nil {
 		return err
 	}
@@ -48,6 +53,7 @@ func runGridsim(seed uint64, parallelism int) error {
 		MaxBatch:         4,
 		MaxPostponements: 5,
 		Parallelism:      parallelism,
+		Metrics:          reg,
 	}, grid)
 	if err != nil {
 		return err

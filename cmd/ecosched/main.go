@@ -27,6 +27,7 @@ import (
 	"os"
 
 	"ecosched/internal/experiments"
+	"ecosched/internal/metrics"
 	"ecosched/internal/strategy"
 )
 
@@ -50,12 +51,36 @@ func run(args []string) error {
 	series := fs.Int("series", 300, "kept experiments in the Fig. 5 series")
 	file := fs.String("file", "", "scenario file for export/replay (\"-\" = stdout)")
 	parallelism := fs.Int("parallelism", 1, "worker goroutines for the alternative search (schedules are identical for every value)")
+	metricsPath := fs.String("metrics", "", "write a metrics snapshot after the subcommand (\"-\" = stdout, .json = JSON encoding)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the subcommand runs")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			return err
+		}
+	}
+	var reg *metrics.Registry
+	if *metricsPath != "" {
+		reg = metrics.New()
+	}
 	cfg := experiments.PaperStudyConfig(*seed, *iterations)
 	cfg.SeriesLength = *series
+	cfg.Metrics = reg
 
+	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *parallelism, reg); err != nil {
+		return err
+	}
+	if reg != nil {
+		return writeMetrics(reg, *metricsPath)
+	}
+	return nil
+}
+
+// dispatch runs one subcommand; the caller dumps the metrics snapshot (if
+// requested) after it returns, so every subcommand gets -metrics for free.
+func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file string, parallelism int, reg *metrics.Registry) error {
 	switch cmd {
 	case "example":
 		return runExample()
@@ -124,8 +149,8 @@ func run(args []string) error {
 		return nil
 	case "robustness":
 		alp, amp, err := strategy.RobustnessStudy(strategy.RobustnessConfig{
-			Seed:        *seed,
-			Iterations:  *iterations,
+			Seed:        seed,
+			Iterations:  iterations,
 			FailureProb: 0.25,
 			Policy:      strategy.EarliestFirst,
 		})
@@ -136,7 +161,7 @@ func run(args []string) error {
 		fmt.Print(strategy.RenderRobustness(alp, amp, 0.25))
 		return nil
 	case "scaling":
-		points, err := experiments.ScalingStudy(*seed, []int{500, 1000, 2000, 4000, 8000, 16000})
+		points, err := experiments.ScalingStudy(seed, []int{500, 1000, 2000, 4000, 8000, 16000})
 		if err != nil {
 			return err
 		}
@@ -144,7 +169,7 @@ func run(args []string) error {
 		fmt.Print(experiments.RenderScaling(points))
 		return nil
 	case "report":
-		return runReport(*seed, *iterations, *file)
+		return runReport(seed, iterations, file)
 	case "clustered":
 		points, err := experiments.ClusteredAblation(cfg)
 		if err != nil {
@@ -155,7 +180,7 @@ func run(args []string) error {
 		return nil
 	case "baseline":
 		bf, eco, err := experiments.BaselineStudy(experiments.BaselineConfig{
-			Seed: *seed, Trials: *iterations / 50, Parallelism: *parallelism,
+			Seed: seed, Trials: iterations / 50, Parallelism: parallelism,
 		})
 		if err != nil {
 			return err
@@ -165,9 +190,9 @@ func run(args []string) error {
 		return nil
 	case "dynamics":
 		alp, amp, err := experiments.DynamicsStudy(experiments.DynamicsConfig{
-			Seed:        *seed,
-			Sessions:    *iterations / 40,
-			Parallelism: *parallelism,
+			Seed:        seed,
+			Sessions:    iterations / 40,
+			Parallelism: parallelism,
 		})
 		if err != nil {
 			return err
@@ -176,13 +201,13 @@ func run(args []string) error {
 		fmt.Print(experiments.RenderDynamics(alp, amp))
 		return nil
 	case "export":
-		return runExport(*seed, *file)
+		return runExport(seed, file)
 	case "replay":
-		return runReplay(*file)
+		return runReplay(file)
 	case "pareto":
-		return runPareto(*seed)
+		return runPareto(seed)
 	case "gridsim":
-		return runGridsim(*seed, *parallelism)
+		return runGridsim(seed, parallelism, reg)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -241,5 +266,7 @@ subcommands:
   gridsim   multi-iteration metascheduler demo on the grid simulator
 
 flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism N
+                        -metrics PATH (snapshot after the run; "-" = stdout, .json = JSON)
+                        -pprof ADDR   (serve net/http/pprof while running)
 `)
 }

@@ -48,6 +48,56 @@ func TestSubcommandsRun(t *testing.T) {
 	}
 }
 
+// TestMetricsFlagWritesSnapshot drives -metrics end to end: a text dump, a
+// JSON dump, and determinism across two identical runs.
+func TestMetricsFlagWritesSnapshot(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "m.txt")
+	if err := run([]string{"gridsim", "-metrics", txt}); err != nil {
+		t.Fatalf("gridsim -metrics: %v", err)
+	}
+	data, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"counter metasched/iterations_total", "histogram metasched/batch_jobs", "counter gridsim/commits_total"} {
+		if !containsStr(string(data), frag) {
+			t.Errorf("snapshot missing %q:\n%s", frag, data)
+		}
+	}
+
+	txt2 := filepath.Join(dir, "m2.txt")
+	if err := run([]string{"gridsim", "-metrics", txt2}); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(txt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("identical runs wrote different snapshots\n--- first ---\n%s\n--- second ---\n%s", data, data2)
+	}
+
+	jsonPath := filepath.Join(dir, "m.json")
+	if err := run([]string{"fig4", "-iterations", "40", "-metrics", jsonPath}); err != nil {
+		t.Fatalf("fig4 -metrics: %v", err)
+	}
+	jdata, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"experiments/kept_total"`, `"alloc/AMP/windows_found_total"`} {
+		if !containsStr(string(jdata), frag) {
+			t.Errorf("JSON snapshot missing %q", frag)
+		}
+	}
+}
+
 func TestExportReplayRoundTrip(t *testing.T) {
 	old := os.Stdout
 	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)

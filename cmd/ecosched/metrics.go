@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"strings"
+
+	"ecosched/internal/metrics"
+)
+
+// writeMetrics dumps the registry snapshot to path: "-" writes the text
+// encoding to stdout, a ".json" suffix selects the JSON encoding, anything
+// else gets the stable text format.
+func writeMetrics(reg *metrics.Registry, path string) error {
+	snap := reg.Snapshot()
+	if path == "-" {
+		fmt.Print(snap.Text())
+		return nil
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if strings.HasSuffix(path, ".json") {
+		data, err = snap.JSON()
+		if err != nil {
+			return fmt.Errorf("encoding metrics snapshot: %w", err)
+		}
+	} else {
+		data = []byte(snap.Text())
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing metrics snapshot: %w", err)
+	}
+	return nil
+}
+
+// servePprof binds addr synchronously (so a bad address fails the run
+// immediately) and serves net/http/pprof's handlers in the background for
+// the lifetime of the process.
+func servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		// DefaultServeMux carries the pprof handlers via the blank import.
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,107 @@
+package alloc
+
+import "ecosched/internal/metrics"
+
+// SearchMetrics holds the pre-resolved instruments of one algorithm's
+// alternative search. Resolve once per scheduler (or per study) with
+// NewSearchMetrics and attach via SearchOptions.Metrics; a nil *SearchMetrics
+// disables instrumentation at zero cost on the scan hot path.
+//
+// Determinism note: every observation below happens on the sequential commit
+// path of the search — FindAlternatives' per-job loop or the parallel
+// pipeline's in-order accept loop — never inside a speculative worker
+// goroutine. Discarded speculative scans are therefore not double-counted,
+// and two identical seeded searches always produce identical counter values
+// (the parallel pipeline additionally reports its own rescan/round counters,
+// which are deterministic functions of the input and the parallelism knob).
+type SearchMetrics struct {
+	// WindowsFound / WindowsMissed split the per-job scan outcomes.
+	WindowsFound  *metrics.Counter
+	WindowsMissed *metrics.Counter
+	// SlotsExamined, SlotsRejected, CandidatesEvicted, and BudgetChecks
+	// aggregate the Stats counters of every committed scan.
+	SlotsExamined     *metrics.Counter
+	SlotsRejected     *metrics.Counter
+	CandidatesEvicted *metrics.Counter
+	BudgetChecks      *metrics.Counter
+	// Passes counts full passes over the batch (including the terminating
+	// empty one), Searches counts FindAlternatives-level invocations.
+	Passes   *metrics.Counter
+	Searches *metrics.Counter
+	// ScanLength is the distribution of visited-prefix lengths per scan —
+	// the deterministic work-unit analogue of per-scan latency.
+	ScanLength *metrics.Histogram
+	// SpeculativeRescans counts speculative scan results discarded by the
+	// parallel pipeline's prefix-consistency check (each is re-scanned in a
+	// later round); SnapshotRounds counts snapshot/scan/commit rounds.
+	// Both stay 0 for the sequential search.
+	SpeculativeRescans *metrics.Counter
+	SnapshotRounds     *metrics.Counter
+}
+
+// NewSearchMetrics resolves the search instruments for one algorithm under
+// the "alloc/<algo>/" prefix. A nil registry returns nil, the disabled
+// state every method of SearchMetrics accepts.
+func NewSearchMetrics(r *metrics.Registry, algo string) *SearchMetrics {
+	if r == nil {
+		return nil
+	}
+	p := "alloc/" + algo + "/"
+	return &SearchMetrics{
+		WindowsFound:       r.Counter(p + "windows_found_total"),
+		WindowsMissed:      r.Counter(p + "windows_missed_total"),
+		SlotsExamined:      r.Counter(p + "slots_examined_total"),
+		SlotsRejected:      r.Counter(p + "slots_rejected_total"),
+		CandidatesEvicted:  r.Counter(p + "candidates_evicted_total"),
+		BudgetChecks:       r.Counter(p + "budget_checks_total"),
+		Passes:             r.Counter(p + "passes_total"),
+		Searches:           r.Counter(p + "searches_total"),
+		ScanLength:         r.Histogram(p+"scan_length_slots", metrics.ExpBuckets(8, 2, 8)),
+		SpeculativeRescans: r.Counter(p + "speculative_rescans_total"),
+		SnapshotRounds:     r.Counter(p + "snapshot_rounds_total"),
+	}
+}
+
+// scanDone records one committed per-job scan outcome.
+func (m *SearchMetrics) scanDone(st Stats, found bool) {
+	if m == nil {
+		return
+	}
+	if found {
+		m.WindowsFound.Inc()
+	} else {
+		m.WindowsMissed.Inc()
+	}
+	m.SlotsExamined.Add(int64(st.SlotsExamined))
+	m.SlotsRejected.Add(int64(st.SlotsRejected))
+	m.CandidatesEvicted.Add(int64(st.CandidatesEvicted))
+	m.BudgetChecks.Add(int64(st.BudgetChecks))
+	m.ScanLength.Observe(int64(st.SlotsExamined))
+}
+
+// passDone records one completed pass over the batch.
+func (m *SearchMetrics) passDone() {
+	if m == nil {
+		return
+	}
+	m.Passes.Inc()
+}
+
+// searchStarted records one FindAlternatives-level invocation.
+func (m *SearchMetrics) searchStarted() {
+	if m == nil {
+		return
+	}
+	m.Searches.Inc()
+}
+
+// roundDone records one speculative round of the parallel pipeline:
+// discarded is the number of scan results invalidated by earlier
+// subtractions and queued for re-scanning.
+func (m *SearchMetrics) roundDone(discarded int) {
+	if m == nil {
+		return
+	}
+	m.SnapshotRounds.Inc()
+	m.SpeculativeRescans.Add(int64(discarded))
+}

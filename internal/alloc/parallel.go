@@ -137,12 +137,14 @@ func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch,
 		maxPasses = 1
 		perJobCap = 1
 	}
+	opts.Metrics.searchStarted()
 
 	for pass := 0; ; pass++ {
 		if maxPasses > 0 && pass >= maxPasses {
 			break
 		}
 		res.Passes++
+		opts.Metrics.passDone()
 		// The jobs this pass scans, in batch priority order. Within one
 		// pass a job gains at most one alternative, so filtering capped
 		// jobs up front matches the sequential per-job check.
@@ -167,6 +169,7 @@ func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch,
 				}
 				j := todo[k]
 				res.Stats.Add(sp.stats)
+				opts.Metrics.scanDone(sp.stats, sp.ok)
 				accepted++
 				if !sp.ok {
 					continue
@@ -181,6 +184,7 @@ func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch,
 				foundAny = true
 				mutated = true
 			}
+			opts.Metrics.roundDone(len(specs) - accepted)
 			todo = todo[accepted:]
 		}
 		if !foundAny {

@@ -22,6 +22,12 @@ type SearchOptions struct {
 	// alternative per job — the degenerate mode most classical schedulers
 	// use, kept for the search-passes ablation.
 	FirstOnly bool
+	// Metrics, when non-nil, receives the search's observability counters
+	// (windows found, scan lengths, pass counts, speculative rescans).
+	// Instrumentation never influences which windows are found: all
+	// observations happen on the sequential commit path, and a nil value
+	// costs nothing (see internal/metrics).
+	Metrics *SearchMetrics
 }
 
 // SearchResult is the outcome of FindAlternatives: for every job of the
@@ -106,12 +112,14 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 		maxPasses = 1
 		perJobCap = 1
 	}
+	opts.Metrics.searchStarted()
 
 	for pass := 0; ; pass++ {
 		if maxPasses > 0 && pass >= maxPasses {
 			break
 		}
 		res.Passes++
+		opts.Metrics.passDone()
 		foundAny := false
 		for _, j := range batch.Jobs() {
 			if perJobCap > 0 && len(res.Alternatives[j.Name]) >= perJobCap {
@@ -119,6 +127,7 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 			}
 			w, stats, ok := algo.FindWindow(working, j)
 			res.Stats.Add(stats)
+			opts.Metrics.scanDone(stats, ok)
 			if !ok {
 				continue
 			}

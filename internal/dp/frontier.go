@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ecosched/internal/job"
+	"ecosched/internal/metrics"
 	"ecosched/internal/sim"
 	"ecosched/internal/slot"
 )
@@ -53,6 +54,12 @@ type Frontier struct {
 	// (owner-income) frontier: time and cost both strictly increasing.
 	// lo[n] and hi[n] hold the single empty tail.
 	lo, hi [][]fpoint
+	// pruned counts the candidate (time, cost) points dropped by dominance
+	// (or duplicate collapse) across the whole backward pass — the work the
+	// sparse engine saves relative to keeping the full cross product. Kept
+	// as a plain int64 so the accounting costs one addition per merge even
+	// with observability off; Observe exports it.
+	pruned int64
 }
 
 // NewFrontier runs the shared sparse backward pass of Eq. (1) for the
@@ -73,8 +80,8 @@ func NewFrontier(batch *job.Batch, alts Alternatives) (*Frontier, error) {
 	f.lo[n], f.hi[n] = empty, empty
 	var buf stageBuf
 	for i := n - 1; i >= 0; i-- {
-		f.lo[i] = buildStage(lists[i], f.lo[i+1], false, &buf)
-		f.hi[i] = buildStage(lists[i], f.hi[i+1], true, &buf)
+		f.lo[i] = buildStage(lists[i], f.lo[i+1], false, &buf, &f.pruned)
+		f.hi[i] = buildStage(lists[i], f.hi[i+1], true, &buf, &f.pruned)
 	}
 	return f, nil
 }
@@ -94,10 +101,13 @@ type stageBuf struct {
 // a better one, and on (time, cost) ties the accumulator's point — which
 // carries the smaller choice index — wins, preserving the canonical
 // lexicographically-smallest representative.
-func buildStage(ws []*slot.Window, tail []fpoint, upper bool, buf *stageBuf) []fpoint {
+func buildStage(ws []*slot.Window, tail []fpoint, upper bool, buf *stageBuf, pruned *int64) []fpoint {
 	acc, out := buf.a[:0], buf.b[:0]
 	for a, w := range ws {
 		out = mergeShifted(acc, tail, w.Length(), w.Cost(), int32(a), upper, out)
+		// Every merge sees len(acc)+len(tail) candidate points and keeps
+		// len(out): the difference is exactly the dominance-pruned work.
+		*pruned += int64(len(acc) + len(tail) - len(out))
 		acc, out = out, acc
 	}
 	buf.a, buf.b = acc, out
@@ -172,6 +182,63 @@ func (f *Frontier) Size() int {
 		total += len(f.lo[i]) + len(f.hi[i])
 	}
 	return total
+}
+
+// DominancePruned returns the number of candidate (time, cost) points the
+// backward pass dropped as dominated or duplicate — the sparse engine's
+// saved work, exported for observability.
+func (f *Frontier) DominancePruned() int64 { return f.pruned }
+
+// Stages returns the number of DP stages (batch jobs) of the backward pass.
+func (f *Frontier) Stages() int { return len(f.lists) }
+
+// FrontierMetrics holds the pre-resolved instruments of the sparse DP
+// engine. Resolve once with NewFrontierMetrics and feed every built frontier
+// to Observe; a nil *FrontierMetrics disables instrumentation at zero cost.
+type FrontierMetrics struct {
+	// Builds counts backward passes (one per scheduling iteration on the
+	// production path), Stages the DP stages folded across them.
+	Builds *metrics.Counter
+	Stages *metrics.Counter
+	// PointsKept and DominancePruned total the trade-off points surviving
+	// versus dropped by the skyline merges — together they quantify how
+	// sparse the instance actually was.
+	PointsKept      *metrics.Counter
+	DominancePruned *metrics.Counter
+	// Size is the distribution of per-build frontier sizes (total points
+	// kept across all stages, Frontier.Size).
+	Size *metrics.Histogram
+}
+
+// NewFrontierMetrics resolves the sparse-engine instruments under the
+// "dp/frontier/" prefix. A nil registry returns nil, the disabled state
+// Observe accepts.
+func NewFrontierMetrics(r *metrics.Registry) *FrontierMetrics {
+	if r == nil {
+		return nil
+	}
+	return &FrontierMetrics{
+		Builds:          r.Counter("dp/frontier/builds_total"),
+		Stages:          r.Counter("dp/frontier/stages_total"),
+		PointsKept:      r.Counter("dp/frontier/points_kept_total"),
+		DominancePruned: r.Counter("dp/frontier/dominance_pruned_total"),
+		Size:            r.Histogram("dp/frontier/size_points", metrics.ExpBuckets(16, 4, 7)),
+	}
+}
+
+// Observe records one built frontier's accounting into m. Safe on a nil
+// receiver and never mutates the frontier, so instrumented and plain runs
+// compute identical plans.
+func (f *Frontier) Observe(m *FrontierMetrics) {
+	if m == nil {
+		return
+	}
+	m.Builds.Inc()
+	m.Stages.Add(int64(f.Stages()))
+	size := int64(f.Size())
+	m.PointsKept.Add(size)
+	m.DominancePruned.Add(f.pruned)
+	m.Size.Observe(size)
 }
 
 // plan reconstructs the combination behind a stage-0 frontier point by

@@ -96,6 +96,7 @@ func PolicyAblation(cfg StudyConfig) ([]PolicyPoint, error) {
 func runAMPVariant(cfg StudyConfig, algo alloc.Algorithm) (*AlgoAggregate, int, error) {
 	agg := &AlgoAggregate{Name: algo.Name()}
 	kept := 0
+	sm := newStudyMetrics(cfg.Metrics)
 	root := sim.NewRNG(cfg.Seed)
 	for it := 0; it < cfg.Iterations; it++ {
 		iterRNG := sim.NewRNG(root.Uint64() ^ uint64(it))
@@ -103,7 +104,7 @@ func runAMPVariant(cfg StudyConfig, algo alloc.Algorithm) (*AlgoAggregate, int, 
 		if err != nil {
 			return nil, 0, err
 		}
-		out, ok, err := runAlgorithm(algo, sc, TimeMin, &cfg)
+		out, ok, err := runAlgorithm(algo, sc, TimeMin, &cfg, sm)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -9,6 +9,7 @@ import (
 
 	"ecosched/internal/alloc"
 	"ecosched/internal/dp"
+	"ecosched/internal/metrics"
 	"ecosched/internal/sim"
 	"ecosched/internal/stats"
 	"ecosched/internal/workload"
@@ -65,6 +66,12 @@ type StudyConfig struct {
 	// per-iteration seeds are drawn sequentially up front and the
 	// reduction folds iterations in index order.
 	Workers int
+	// Metrics, when non-nil, receives the study's observability counters
+	// (inclusion outcomes, per-algorithm search instruments, frontier
+	// accounting). Instrumentation never changes a result, the final
+	// snapshot is identical for any worker count, and nil disables it at
+	// zero cost.
+	Metrics *metrics.Registry
 }
 
 // PaperStudyConfig returns the Section 5 configuration with the given seed
@@ -157,8 +164,10 @@ type iterationOutcome struct {
 // runAlgorithm executes search + limit derivation + optimization for one
 // algorithm on one scenario. A nil plan with nil error means the experiment
 // must be dropped (no coverage); an ErrInfeasible also drops it.
-func runAlgorithm(algo alloc.Algorithm, sc *workload.Scenario, obj Objective, cfg *StudyConfig) (*iterationOutcome, bool, error) {
-	res, err := alloc.FindAlternatives(algo, sc.Slots, sc.Batch, cfg.Search)
+func runAlgorithm(algo alloc.Algorithm, sc *workload.Scenario, obj Objective, cfg *StudyConfig, sm *studyMetrics) (*iterationOutcome, bool, error) {
+	opts := cfg.Search
+	opts.Metrics = sm.searchFor(algo.Name())
+	res, err := alloc.FindAlternatives(algo, sc.Slots, sc.Batch, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -172,6 +181,7 @@ func runAlgorithm(algo alloc.Algorithm, sc *workload.Scenario, obj Objective, cf
 	if err != nil {
 		return nil, false, err
 	}
+	fr.Observe(sm.frontierMetrics())
 	limits, err := fr.Limits()
 	if err != nil {
 		var inf *dp.ErrInfeasible
@@ -226,17 +236,17 @@ type algoSummary struct {
 }
 
 // runIteration executes one simulated scheduling iteration end to end.
-func runIteration(seed uint64, obj Objective, cfg *StudyConfig) (iterSummary, error) {
+func runIteration(seed uint64, obj Objective, cfg *StudyConfig, sm *studyMetrics) (iterSummary, error) {
 	var sum iterSummary
 	sc, err := workload.GenerateScenarioFrom(cfg.slotSource(), cfg.JobGen, sim.NewRNG(seed))
 	if err != nil {
 		return sum, err
 	}
-	alpOut, alpOK, err := runAlgorithm(alloc.ALP{}, sc, obj, cfg)
+	alpOut, alpOK, err := runAlgorithm(alloc.ALP{}, sc, obj, cfg, sm)
 	if err != nil {
 		return sum, err
 	}
-	ampOut, ampOK, err := runAlgorithm(alloc.AMP{}, sc, obj, cfg)
+	ampOut, ampOK, err := runAlgorithm(alloc.AMP{}, sc, obj, cfg, sm)
 	if err != nil {
 		return sum, err
 	}
@@ -278,6 +288,7 @@ func RunStudy(obj Objective, cfg StudyConfig) (*StudyResult, error) {
 		ALP:        AlgoAggregate{Name: "ALP", TimeSeries: stats.Series{Name: "ALP"}},
 		AMP:        AlgoAggregate{Name: "AMP", TimeSeries: stats.Series{Name: "AMP"}},
 	}
+	sm := newStudyMetrics(cfg.Metrics)
 	// Per-iteration seeds, exactly as the sequential implementation drew
 	// them (root stream xor iteration index).
 	root := sim.NewRNG(cfg.Seed)
@@ -307,7 +318,7 @@ func RunStudy(obj Objective, cfg StudyConfig) (*StudyResult, error) {
 				if it >= cfg.Iterations {
 					return
 				}
-				summaries[it], errs[it] = runIteration(seeds[it], obj, &cfg)
+				summaries[it], errs[it] = runIteration(seeds[it], obj, &cfg, sm)
 			}
 		}()
 	}
@@ -319,6 +330,7 @@ func RunStudy(obj Objective, cfg StudyConfig) (*StudyResult, error) {
 			return nil, errs[it]
 		}
 		sum := summaries[it]
+		sm.reduce(sum)
 		if !sum.kept {
 			if sum.noCoverage {
 				res.DroppedNoCoverage++

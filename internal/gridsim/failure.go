@@ -41,6 +41,7 @@ func (g *Grid) FailNode(id resource.NodeID, at sim.Time) ([]Task, error) {
 		kept = append(kept, t)
 	}
 	g.booked[id] = kept
+	g.metrics.failed(len(cancelled))
 	return cancelled, nil
 }
 
@@ -79,6 +80,7 @@ func (g *Grid) CancelJob(name string) []Task {
 		}
 		g.booked[id] = kept
 	}
+	g.metrics.jobCancelled(len(out))
 	return out
 }
 

@@ -45,6 +45,8 @@ type Grid struct {
 	// credited on commit, refunded on cancellation; unaffected by the
 	// clock advancing past completed bookings.
 	income map[string]sim.Money
+	// metrics, when non-nil, observes environment churn (see SetMetrics).
+	metrics *Metrics
 }
 
 // New creates an idle grid over the pool.
@@ -177,6 +179,7 @@ func (g *Grid) Commit(w *slot.Window) error {
 	for _, t := range booked {
 		g.income[g.pool.Node(t.Node).Domain] += t.Cost
 	}
+	g.metrics.committed(len(booked))
 	return nil
 }
 

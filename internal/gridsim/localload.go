@@ -65,9 +65,11 @@ func (g *Grid) Populate(load LocalLoad, from, to sim.Time, rng *sim.RNG) error {
 			}
 			if err := g.Book(task); err != nil {
 				// Collision with an existing booking: skip past it.
+				g.metrics.collision()
 				cursor = start + 1
 				continue
 			}
+			g.metrics.localBooked()
 			cursor = end
 		}
 	}

@@ -1,0 +1,80 @@
+package gridsim
+
+import "ecosched/internal/metrics"
+
+// Metrics holds the pre-resolved instruments of the grid environment:
+// owner-local load injected, commit/cancellation churn, and failures. Attach
+// with Grid.SetMetrics; a nil *Metrics disables instrumentation at zero cost
+// and observation never changes any booking decision.
+type Metrics struct {
+	// LocalTasksBooked counts owner-local tasks injected by Populate;
+	// BookCollisions counts arrivals skipped because the sampled interval
+	// was already occupied.
+	LocalTasksBooked *metrics.Counter
+	BookCollisions   *metrics.Counter
+	// Commits counts committed VO windows, Reservations the individual
+	// placements booked under them.
+	Commits      *metrics.Counter
+	Reservations *metrics.Counter
+	// FailuresInjected counts FailNode calls that actually downed a node;
+	// ReservationsCancelled the VO reservations released by failures and
+	// job cancellations.
+	FailuresInjected      *metrics.Counter
+	ReservationsCancelled *metrics.Counter
+}
+
+// NewMetrics resolves the grid instruments under the "gridsim/" prefix. A
+// nil registry returns nil, the disabled state SetMetrics accepts.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		LocalTasksBooked:      r.Counter("gridsim/local_tasks_booked_total"),
+		BookCollisions:        r.Counter("gridsim/book_collisions_total"),
+		Commits:               r.Counter("gridsim/commits_total"),
+		Reservations:          r.Counter("gridsim/reservations_total"),
+		FailuresInjected:      r.Counter("gridsim/failures_injected_total"),
+		ReservationsCancelled: r.Counter("gridsim/reservations_cancelled_total"),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) the grid's instruments.
+func (g *Grid) SetMetrics(m *Metrics) { g.metrics = m }
+
+func (m *Metrics) localBooked() {
+	if m == nil {
+		return
+	}
+	m.LocalTasksBooked.Inc()
+}
+
+func (m *Metrics) collision() {
+	if m == nil {
+		return
+	}
+	m.BookCollisions.Inc()
+}
+
+func (m *Metrics) committed(placements int) {
+	if m == nil {
+		return
+	}
+	m.Commits.Inc()
+	m.Reservations.Add(int64(placements))
+}
+
+func (m *Metrics) failed(cancelled int) {
+	if m == nil {
+		return
+	}
+	m.FailuresInjected.Inc()
+	m.ReservationsCancelled.Add(int64(cancelled))
+}
+
+func (m *Metrics) jobCancelled(tasks int) {
+	if m == nil {
+		return
+	}
+	m.ReservationsCancelled.Add(int64(tasks))
+}

@@ -9,6 +9,7 @@ import (
 	"ecosched/internal/gridsim"
 	"ecosched/internal/job"
 	"ecosched/internal/metasched"
+	"ecosched/internal/metrics"
 	"ecosched/internal/resource"
 	"ecosched/internal/sim"
 )
@@ -26,7 +27,10 @@ import (
 // divisible by 3, a live owner-local arrival stream on seeds divisible by 4,
 // and a mid-session node failure on seeds divisible by 5, so the differential
 // sweep covers repricing, non-dedicated resources, and the re-queue path.
-func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense bool) string {
+//
+// reg, when non-nil, attaches the observability registry to the session —
+// the transcript must not change (the metrics-neutrality contract).
+func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense bool, reg *metrics.Registry) string {
 	t.Helper()
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
@@ -59,6 +63,7 @@ func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, poli
 		MaxPostponements: 3,
 		Parallelism:      parallelism,
 		UseDenseDP:       useDense,
+		Metrics:          reg,
 	}
 	if seed%3 == 0 {
 		cfg.DemandPricing = &metasched.DemandPricing{MinFactor: 0.8, MaxFactor: 1.3}
@@ -130,9 +135,9 @@ func TestParallelismDifferential(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		for _, a := range algos {
 			for _, policy := range policies {
-				want := diffSessionTranscript(t, seed, a.algo, policy, 1, false)
+				want := diffSessionTranscript(t, seed, a.algo, policy, 1, false, nil)
 				for _, parallelism := range []int{4, 8} {
-					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false)
+					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, nil)
 					if got != want {
 						t.Fatalf("seed %d %s %v: parallelism=%d transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
 							seed, a.name, policy, parallelism, want, got)
@@ -161,8 +166,8 @@ func TestFrontierDenseDifferential(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		for _, a := range algos {
 			for _, policy := range policies {
-				dense := diffSessionTranscript(t, seed, a.algo, policy, 1, true)
-				frontier := diffSessionTranscript(t, seed, a.algo, policy, 1, false)
+				dense := diffSessionTranscript(t, seed, a.algo, policy, 1, true, nil)
+				frontier := diffSessionTranscript(t, seed, a.algo, policy, 1, false, nil)
 				if dense != frontier {
 					t.Fatalf("seed %d %s %v: frontier transcript diverged from dense oracle\n--- dense ---\n%s\n--- frontier ---\n%s",
 						seed, a.name, policy, dense, frontier)

@@ -14,6 +14,7 @@ import (
 	"ecosched/internal/dp"
 	"ecosched/internal/gridsim"
 	"ecosched/internal/job"
+	"ecosched/internal/metrics"
 	"ecosched/internal/sim"
 	"ecosched/internal/slot"
 	"ecosched/internal/trace"
@@ -85,6 +86,13 @@ type Config struct {
 	// Trace, when non-nil, records the session's scheduling decisions
 	// (searches, plan choices, commits, postponements, repricing).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives the session's observability counters:
+	// per-iteration phase work, job outcomes, optimizer engine selection,
+	// plus the alloc-, dp-, and gridsim-level instruments, all resolved in
+	// New. Instrumentation never changes a scheduling decision — sessions
+	// with metrics on and off produce byte-identical transcripts — and nil
+	// disables it at zero cost.
+	Metrics *metrics.Registry
 	// LocalArrivals, when non-nil, keeps the resources non-dedicated
 	// across iterations: before each publication, fresh owner-local tasks
 	// are booked into the part of the horizon that became newly visible.
@@ -211,6 +219,8 @@ type Scheduler struct {
 	placed map[string]*job.Job
 	// seededTo marks how far local arrivals have been injected.
 	seededTo sim.Time
+	// metrics holds the pre-resolved instruments; nil when disabled.
+	metrics *schedMetrics
 }
 
 // New creates a scheduler over the grid.
@@ -221,7 +231,15 @@ func New(cfg Config, grid *gridsim.Grid) (*Scheduler, error) {
 	if grid == nil {
 		return nil, fmt.Errorf("metasched: nil grid")
 	}
-	return &Scheduler{cfg: cfg, grid: grid, placed: make(map[string]*job.Job)}, nil
+	s := &Scheduler{cfg: cfg, grid: grid, placed: make(map[string]*job.Job)}
+	s.metrics = newSchedMetrics(cfg.Metrics)
+	if cfg.Metrics != nil {
+		if s.cfg.Search.Metrics == nil {
+			s.cfg.Search.Metrics = alloc.NewSearchMetrics(cfg.Metrics, cfg.Algorithm.Name())
+		}
+		grid.SetMetrics(gridsim.NewMetrics(cfg.Metrics))
+	}
+	return s, nil
 }
 
 // Submit enqueues a job for scheduling. Names must be unique among live
@@ -286,6 +304,7 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 	}
 	selected := s.batchForIteration()
 	rep.BatchSize = len(selected)
+	s.metrics.iterationStarted(len(selected))
 	if len(selected) == 0 {
 		return rep, s.grid.Advance(s.grid.Now().Add(s.cfg.Step))
 	}
@@ -308,12 +327,14 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 		vacant = vacant.Reprice(func(sl slot.Slot) sim.Money { return sl.Price * factor })
 		s.cfg.Trace.Record(trace.Repriced, "", "utilization factor %.3f over %d slots", float64(factor), vacant.Len())
 	}
+	s.metrics.published(vacant.Len())
 	s.cfg.Trace.Record(trace.SearchStarted, "", "%s over %d slots for %d jobs", s.cfg.Algorithm.Name(), vacant.Len(), batch.Len())
 	search, err := alloc.FindAlternativesParallel(s.cfg.Algorithm, vacant, batch, s.cfg.Search, s.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	rep.Alternatives = search.TotalAlternatives()
+	s.metrics.searched(search.Stats.SlotsExamined, rep.Alternatives)
 	for _, j := range batch.Jobs() {
 		ws := search.Alternatives[j.Name]
 		if len(ws) == 0 {
@@ -345,9 +366,11 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 				return nil, err
 			}
 			// Infeasible combination: postpone the whole batch.
+			s.metrics.planInfeasible()
 		} else {
 			s.cfg.Trace.Record(trace.PlanChosen, "", "%s: T=%v C=%v over %d jobs",
 				s.cfg.Policy, plan.TotalTime, plan.TotalCost, len(plan.Choices))
+			s.metrics.planChosen(plan.TotalTime, plan.TotalCost, len(plan.Choices))
 			for _, ch := range plan.Choices {
 				if err := s.grid.Commit(ch.Window); err != nil {
 					return nil, fmt.Errorf("metasched: committing %s: %w", ch.Job.Name, err)
@@ -360,6 +383,7 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 					return nil, fmt.Errorf("metasched: placed job %q is not in the queue", ch.Job.Name)
 				}
 				wait := ch.Window.Start().Sub(sub.submitTick)
+				s.metrics.jobPlaced(wait)
 				rep.Placed = append(rep.Placed, Scheduled{
 					Job:       ch.Job,
 					Window:    &dp.Choice{Job: ch.Job, Window: ch.Window},
@@ -390,10 +414,12 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 			if s.cfg.MaxPostponements > 0 && q.postponed >= s.cfg.MaxPostponements {
 				rep.Dropped = append(rep.Dropped, q.job.Name)
 				s.cfg.Trace.Record(trace.Dropped, q.job.Name, "after %d postponements", q.postponed)
+				s.metrics.jobDropped()
 				continue
 			}
 			rep.Postponed = append(rep.Postponed, q.job.Name)
 			s.cfg.Trace.Record(trace.Postponed, q.job.Name, "postponement %d", q.postponed)
+			s.metrics.jobPostponed()
 		}
 		remaining = append(remaining, q)
 	}
@@ -419,16 +445,18 @@ func (s *Scheduler) findQueued(name string) *queued {
 // the policy run from it; the dense path (UseDenseDP) rebuilds a table for
 // each, exactly as the reference formulation does.
 func (s *Scheduler) optimize(batch *job.Batch, alts dp.Alternatives) (*dp.Plan, error) {
+	gridEngine := s.cfg.Policy != MinimizeCost && s.cfg.MaxBudgetStates > 0
 	if s.cfg.UseDenseDP {
 		limits, err := dp.ComputeLimitsDense(batch, alts)
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.engineUsed(nil, true, gridEngine)
 		switch s.cfg.Policy {
 		case MinimizeCost:
 			return dp.MinimizeCostDense(batch, alts, limits.Quota)
 		default:
-			if s.cfg.MaxBudgetStates > 0 {
+			if gridEngine {
 				return dp.MinimizeTimeGrid(batch, alts, limits.Budget, budgetGrid(limits.Budget, s.cfg.MaxBudgetStates))
 			}
 			return dp.MinimizeTimeDense(batch, alts, limits.Budget)
@@ -442,11 +470,12 @@ func (s *Scheduler) optimize(batch *job.Batch, alts dp.Alternatives) (*dp.Plan, 
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.engineUsed(fr, false, gridEngine)
 	switch s.cfg.Policy {
 	case MinimizeCost:
 		return fr.MinimizeCost(limits.Quota)
 	default:
-		if s.cfg.MaxBudgetStates > 0 {
+		if gridEngine {
 			return dp.MinimizeTimeGrid(batch, alts, limits.Budget, budgetGrid(limits.Budget, s.cfg.MaxBudgetStates))
 		}
 		return fr.MinimizeTime(limits.Budget)
@@ -516,5 +545,6 @@ func (s *Scheduler) HandleNodeFailure(nodeLabel string) ([]string, error) {
 		requeued = append(requeued, t.Name)
 	}
 	sort.Strings(requeued)
+	s.metrics.jobsRequeued(len(requeued))
 	return requeued, nil
 }

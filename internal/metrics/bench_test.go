@@ -1,0 +1,55 @@
+package metrics
+
+import "testing"
+
+// The disabled-path benchmarks quantify the tentpole claim: a nil registry
+// costs one predictable branch per instrument call — 0 allocs/op, sub-ns.
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := New().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench", ExpBuckets(8, 2, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 1023))
+	}
+}
+
+func BenchmarkSnapshotText(b *testing.B) {
+	r := New()
+	for i := 0; i < 32; i++ {
+		r.Counter(benchCounterName("c", i)).Add(int64(i))
+	}
+	r.Histogram("h", ExpBuckets(1, 2, 10)).Observe(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot().Text()
+	}
+}
+
+// benchCounterName builds distinct counter names for the snapshot benchmark.
+func benchCounterName(prefix string, i int) string {
+	return prefix + "/" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+}

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry owns a namespace of instruments. Instruments are created on first
+// use and live for the registry's lifetime; hot paths resolve them once and
+// hold the pointers.
+//
+// A nil *Registry is the disabled state: it hands out nil instruments, whose
+// operations are no-ops, so call sites never branch on "is observability on".
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		mustValidName(name)
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		mustValidName(name)
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use. Bounds are fixed by the first registration; later
+// calls return the existing histogram regardless of the bounds argument, so
+// every observer of one name shares one bucket layout. Invalid bounds on
+// first registration panic — a programmer error, caught by any test that
+// touches the call site. A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		mustValidName(name)
+		var err error
+		h, err = newHistogram(bounds)
+		if err != nil {
+			panic(fmt.Sprintf("metrics: registering %q: %v", name, err))
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+func mustValidName(name string) {
+	if name == "" || strings.ContainsAny(name, " \t\n") {
+		panic(fmt.Sprintf("metrics: invalid instrument name %q", name))
+	}
+}
+
+// CounterValue is one counter's state in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge's state in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram's state in a snapshot. Counts[i] is the
+// number of observations in bucket i (v <= Bounds[i]); the final entry of
+// Counts is the overflow bucket.
+type HistogramValue struct {
+	Name   string  `json:"name"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, sorted by name
+// within each kind. The encoding functions below are pure functions of the
+// snapshot's fields, so equal scheduler runs render equal bytes.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state. A nil registry yields an
+// empty snapshot. Concurrent writers may race individual atomic loads, but a
+// quiesced registry (no writers, the only sensible time to snapshot for
+// golden comparison) always renders identically.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		hv := HistogramValue{
+			Name:   name,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Text renders the snapshot in the stable line format
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	histogram <name> count=<n> sum=<s> le<b0>=<c0> … +inf=<cK>
+//
+// one instrument per line, each kind sorted by name — the format the CLI's
+// -metrics flag writes and the golden tests compare byte for byte.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "gauge %s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%d", h.Name, h.Count, h.Sum)
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(&b, " le%d=%d", bound, h.Counts[i])
+		}
+		fmt.Fprintf(&b, " +inf=%d\n", h.Counts[len(h.Counts)-1])
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON. Field order is fixed by the
+// struct definitions and slices are pre-sorted, so the encoding is as
+// byte-stable as Text.
+func (s *Snapshot) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Counter returns the snapshotted value of the named counter, 0 when absent.
+func (s *Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// HistogramCount returns the snapshotted observation count of the named
+// histogram, 0 when absent.
+func (s *Snapshot) HistogramCount(name string) int64 {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h.Count
+		}
+	}
+	return 0
+}

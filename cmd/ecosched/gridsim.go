@@ -15,10 +15,11 @@ import (
 // runGridsim drives a multi-iteration metascheduler session on a randomly
 // loaded grid: jobs arrive over time, local owner tasks occupy nodes, and
 // the scheduler places what it can each iteration, postponing the rest.
-// parallelism sets the search worker count; the resulting schedule is
-// identical for every value. reg, when non-nil, collects the session's
-// metrics for the caller's -metrics dump.
-func runGridsim(seed uint64, parallelism int, reg *metrics.Registry) error {
+// parallelism sets the search worker count and linearScan swaps the bucketed
+// slot index for the linear oracle scan; the resulting schedule is identical
+// for every combination. reg, when non-nil, collects the session's metrics
+// for the caller's -metrics dump.
+func runGridsim(seed uint64, parallelism int, linearScan bool, reg *metrics.Registry) error {
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	var nodes []*resource.Node
@@ -45,7 +46,7 @@ func runGridsim(seed uint64, parallelism int, reg *metrics.Registry) error {
 	if err := grid.Populate(gridsim.LocalLoad{MeanGap: 120, DurMin: 40, DurMax: 160}, 0, 2400, rng.Split()); err != nil {
 		return err
 	}
-	sched, err := metasched.New(metasched.Config{
+	cfg := metasched.Config{
 		Algorithm:        alloc.AMP{},
 		Policy:           metasched.MinimizeTime,
 		Horizon:          800,
@@ -54,7 +55,9 @@ func runGridsim(seed uint64, parallelism int, reg *metrics.Registry) error {
 		MaxPostponements: 5,
 		Parallelism:      parallelism,
 		Metrics:          reg,
-	}, grid)
+	}
+	cfg.Search.UseLinearScan = linearScan
+	sched, err := metasched.New(cfg, grid)
 	if err != nil {
 		return err
 	}

@@ -51,6 +51,7 @@ func run(args []string) error {
 	series := fs.Int("series", 300, "kept experiments in the Fig. 5 series")
 	file := fs.String("file", "", "scenario file for export/replay (\"-\" = stdout)")
 	parallelism := fs.Int("parallelism", 1, "worker goroutines for the alternative search (schedules are identical for every value)")
+	linearScan := fs.Bool("linear-scan", false, "use the linear oracle scan instead of the bucketed slot index (results are identical for either)")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot after the subcommand (\"-\" = stdout, .json = JSON encoding)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the subcommand runs")
 	if err := fs.Parse(rest); err != nil {
@@ -68,6 +69,7 @@ func run(args []string) error {
 	cfg := experiments.PaperStudyConfig(*seed, *iterations)
 	cfg.SeriesLength = *series
 	cfg.Metrics = reg
+	cfg.Search.UseLinearScan = *linearScan
 
 	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *parallelism, reg); err != nil {
 		return err
@@ -207,7 +209,7 @@ func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations i
 	case "pareto":
 		return runPareto(seed)
 	case "gridsim":
-		return runGridsim(seed, parallelism, reg)
+		return runGridsim(seed, parallelism, cfg.Search.UseLinearScan, reg)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -268,5 +270,6 @@ subcommands:
 flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism N
                         -metrics PATH (snapshot after the run; "-" = stdout, .json = JSON)
                         -pprof ADDR   (serve net/http/pprof while running)
+                        -linear-scan  (linear oracle scan instead of the slot index; identical results)
 `)
 }

@@ -64,6 +64,27 @@ type Algorithm interface {
 	FindWindow(list *slot.List, j *job.Job) (w *slot.Window, stats Stats, ok bool)
 }
 
+// IndexedAlgorithm is an Algorithm that can additionally run its scan
+// against a slot.Index, visiting only the slots the index's buckets cannot
+// dismiss. Both entry points are total functions of the same slot sequence,
+// so for any list they return byte-identical windows and Stats — the
+// scan-equivalence contract the oracle suites (indexed_test.go and the
+// metasched differentials) pin down:
+//
+//   - FindWindowLinear is the paper's front-to-back scan of the raw list,
+//     kept verbatim as the reference oracle;
+//   - FindWindowIndexed is the production path, reached through
+//     FindAlternatives unless SearchOptions.UseLinearScan asks for the
+//     oracle.
+type IndexedAlgorithm interface {
+	Algorithm
+	// FindWindowLinear searches the raw list front to back — the oracle.
+	FindWindowLinear(list *slot.List, j *job.Job) (w *slot.Window, stats Stats, ok bool)
+	// FindWindowIndexed searches through the index. probe, when non-nil,
+	// accumulates the index traversal work; it never influences the result.
+	FindWindowIndexed(ix *slot.Index, j *job.Job, probe *slot.ScanStats) (w *slot.Window, stats Stats, ok bool)
+}
+
 // candidate is a slot currently inside the sliding window under
 // construction, with its precomputed node-local runtime and usage cost.
 type candidate struct {
@@ -101,9 +122,15 @@ func newCandidate(s slot.Slot, req job.ResourceRequest, seq int) candidate {
 // requirements (RAM, disk, OS, tags; Section 2's resource-request
 // characteristics).
 func suits(s slot.Slot, req job.ResourceRequest) bool {
-	if s.Performance() < req.MinPerformance {
-		return false
-	}
+	return s.Performance() >= req.MinPerformance && suitsBeyondPerformance(s, req)
+}
+
+// suitsBeyondPerformance is suits without the performance floor — the part
+// an indexed scan still has to evaluate per slot after the slot.Index
+// prefiltered performance (and, for ALP, price). Keeping it a separate
+// function makes the linear scan and the indexed scan share one source of
+// truth for the suitability conditions.
+func suitsBeyondPerformance(s slot.Slot, req job.ResourceRequest) bool {
 	if !req.Needs.Empty() && !s.Node.Satisfies(req.Needs) {
 		return false
 	}
@@ -137,6 +164,44 @@ func buildWindow(jobName string, start sim.Time, chosen []candidate) *slot.Windo
 		})
 	}
 	return w
+}
+
+// scanLimit returns the exclusive rank bound of an indexed scan: the rank a
+// deadline-carrying linear scan breaks at (its pastDeadline check fires on
+// the first slot starting at or after the deadline), or the list length when
+// the request has no deadline.
+func scanLimit(ix *slot.Index, req job.ResourceRequest) (limit, n int) {
+	n = ix.Len()
+	limit = n
+	if req.Deadline > 0 {
+		limit = ix.RankAtOrAfter(req.Deadline)
+	}
+	return limit, n
+}
+
+// finishScanStats fills the examined/rejected counters of an indexed scan,
+// reproducing the linear scan's arithmetic exactly. The linear scan counts
+// every visited slot in SlotsExamined and every visited-but-not-accepted
+// slot in SlotsRejected, so both are functions of the stopping rank and the
+// accepted count alone:
+//
+//   - success at rank r: r+1 slots visited, r+1−accepted rejected;
+//   - failure with a deadline break at rank limit < n: the breaking slot is
+//     visited (limit+1 examined) but not rejected (limit−accepted);
+//   - failure with the list exhausted: n examined, limit−accepted rejected
+//     (limit == n here).
+func finishScanStats(stats *Stats, req job.ResourceRequest, limit, n, stopRank, accepted int, found bool) {
+	if found {
+		stats.SlotsExamined = stopRank + 1
+		stats.SlotsRejected = stopRank + 1 - accepted
+		return
+	}
+	if req.Deadline > 0 && limit < n {
+		stats.SlotsExamined = limit + 1
+	} else {
+		stats.SlotsExamined = n
+	}
+	stats.SlotsRejected = limit - accepted
 }
 
 // validateInput rejects malformed requests up front so the scan loops can

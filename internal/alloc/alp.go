@@ -16,17 +16,24 @@ type ALP struct{}
 // Name implements Algorithm.
 func (ALP) Name() string { return "ALP" }
 
-// FindWindow implements Algorithm. The scan follows the paper's steps
-// 1°–5°: slots arrive sorted by start time; each suitable slot is added to
-// the window under construction; the tentative window start is always the
-// start of the last added slot (T_last); candidates whose remaining length
-// from T_last no longer covers their runtime are evicted (step 3°); the
-// first time the window holds N slots it is returned.
+// FindWindow implements Algorithm by delegating to the linear oracle scan;
+// the multi-pass drivers prefer FindWindowIndexed (see IndexedAlgorithm).
+func (a ALP) FindWindow(list *slot.List, j *job.Job) (*slot.Window, Stats, bool) {
+	return a.FindWindowLinear(list, j)
+}
+
+// FindWindowLinear implements the paper's steps 1°–5° by a raw front-to-back
+// scan of the list: slots arrive sorted by start time; each suitable slot is
+// added to the window under construction; the tentative window start is
+// always the start of the last added slot (T_last); candidates whose
+// remaining length from T_last no longer covers their runtime are evicted
+// (step 3°); the first time the window holds N slots it is returned.
 //
 // Every slot is visited at most once and every candidate evicted at most
 // once, so the scan is linear in the list length (the window never holds
-// more than N candidates for ALP).
-func (ALP) FindWindow(list *slot.List, j *job.Job) (*slot.Window, Stats, bool) {
+// more than N candidates for ALP). This is the reference oracle the indexed
+// scan is differentially tested against.
+func (ALP) FindWindowLinear(list *slot.List, j *job.Job) (*slot.Window, Stats, bool) {
 	var stats Stats
 	if err := validateInput(list, j); err != nil {
 		return nil, stats, false
@@ -69,5 +76,54 @@ func (ALP) FindWindow(list *slot.List, j *job.Job) (*slot.Window, Stats, bool) {
 	}
 	// Ran out of slots before accumulating N: the job is postponed to the
 	// next scheduling iteration (step 5° failure branch).
+	return nil, stats, false
+}
+
+// FindWindowIndexed implements IndexedAlgorithm: the same steps 1°–5°, but
+// the performance floor and the per-slot price cap are delegated to the
+// index's bucket prefilter, so slots failing either are never visited. The
+// accepted-slot sequence is exactly the linear scan's, and the Stats
+// counters are reconstructed from the stopping rank (see finishScanStats),
+// so the result is byte-identical to FindWindowLinear for every input.
+func (ALP) FindWindowIndexed(ix *slot.Index, j *job.Job, probe *slot.ScanStats) (*slot.Window, Stats, bool) {
+	var stats Stats
+	if err := validateInput(ix.List(), j); err != nil {
+		return nil, stats, false
+	}
+	req := j.Request
+	limit, n := scanLimit(ix, req)
+	f := slot.Filter{MinPerf: req.MinPerformance, MaxPrice: req.MaxPrice, PriceCap: true}
+
+	active := make([]candidate, 0, req.Nodes)
+	accepted := 0
+	var win *slot.Window
+	ix.Scan(f, limit, probe, func(rank int, s slot.Slot) bool {
+		if !suitsBeyondPerformance(s, req) {
+			return true
+		}
+		accepted++
+		// seq mirrors the linear scan's SlotsExamined at acceptance: rank+1.
+		c := newCandidate(s, req, rank+1)
+		tLast := s.Start()
+		kept := active[:0]
+		for _, a := range active {
+			if a.deadline >= tLast {
+				kept = append(kept, a)
+			} else {
+				stats.CandidatesEvicted++
+			}
+		}
+		active = append(kept, c)
+		if len(active) == req.Nodes {
+			win = buildWindow(j.Name, tLast, active)
+			finishScanStats(&stats, req, limit, n, rank, accepted, true)
+			return false
+		}
+		return true
+	})
+	if win != nil {
+		return win, stats, true
+	}
+	finishScanStats(&stats, req, limit, n, 0, accepted, false)
 	return nil, stats, false
 }

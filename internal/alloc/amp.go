@@ -66,15 +66,22 @@ func (h *deadlineHeap) Push(x any)     { *h = append(*h, x.(candidate)) }
 func (h *deadlineHeap) Pop() any       { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
 func (h deadlineHeap) Peek() candidate { return h[0] }
 
-// FindWindow implements Algorithm following the paper's AMP steps 1°–4°:
-// accumulate suitable slots exactly as ALP does but without the per-slot
-// price condition; whenever the window holds at least N candidates, check
-// whether the N cheapest fit the job budget; if so, the window is formed by
-// those N slots and the rest are conceptually returned to the list (they
-// were never removed — the list is immutable during a search). Otherwise the
-// scan keeps advancing the window start, evicting expired candidates, until
-// the list is exhausted.
+// FindWindow implements Algorithm by delegating to the linear oracle scan;
+// the multi-pass drivers prefer FindWindowIndexed (see IndexedAlgorithm).
 func (a AMP) FindWindow(list *slot.List, j *job.Job) (*slot.Window, Stats, bool) {
+	return a.FindWindowLinear(list, j)
+}
+
+// FindWindowLinear follows the paper's AMP steps 1°–4° by a raw front-to-
+// back scan: accumulate suitable slots exactly as ALP does but without the
+// per-slot price condition; whenever the window holds at least N candidates,
+// check whether the N cheapest fit the job budget; if so, the window is
+// formed by those N slots and the rest are conceptually returned to the list
+// (they were never removed — the list is immutable during a search).
+// Otherwise the scan keeps advancing the window start, evicting expired
+// candidates, until the list is exhausted. This is the reference oracle the
+// indexed scan is differentially tested against.
+func (a AMP) FindWindowLinear(list *slot.List, j *job.Job) (*slot.Window, Stats, bool) {
 	var stats Stats
 	if err := validateInput(list, j); err != nil {
 		return nil, stats, false
@@ -97,45 +104,99 @@ func (a AMP) FindWindow(list *slot.List, j *job.Job) (*slot.Window, Stats, bool)
 			continue
 		}
 		c := newCandidate(s, req, stats.SlotsExamined)
-
-		// The window start advances to T_last = s.Start(); expire
-		// candidates that can no longer host from there.
-		tLast := s.Start()
-		for byDeadline.Len() > 0 && byDeadline.Peek().deadline < tLast {
-			dead := heap.Pop(&byDeadline).(candidate)
-			if _, ok := alive[dead.seq]; ok {
-				delete(alive, dead.seq)
-				cheapest.Remove(dead.seq)
-				stats.CandidatesEvicted++
-			}
-		}
-
-		alive[c.seq] = c
-		heap.Push(&byDeadline, c)
-		cheapest.Add(c.seq, c.cost)
-
-		// Step 2°: with at least N candidates, the window is formed as
-		// soon as the policy's N members fit the budget. For the paper's
-		// CheapestN policy that is the cheapest-N sum; the FirstN
-		// ablation checks the N earliest-added alive candidates instead.
-		if cheapest.HasFullK() {
-			stats.BudgetChecks++
-			if a.Policy == CheapestN {
-				// O(1) acceptance test; members materialized only
-				// on success.
-				if cheapest.SumCheapest().LessEq(budget) {
-					chosen, _ := a.pick(alive, cheapest, req.Nodes)
-					return buildWindow(j.Name, tLast, chosen), stats, true
-				}
-			} else {
-				chosen, cost := a.pick(alive, cheapest, req.Nodes)
-				if cost.LessEq(budget) {
-					return buildWindow(j.Name, tLast, chosen), stats, true
-				}
-			}
+		if w, ok := a.accept(c, req, budget, alive, &byDeadline, cheapest, &stats); ok {
+			return buildWindow(j.Name, c.s.Start(), w), stats, true
 		}
 	}
 	return nil, stats, false
+}
+
+// FindWindowIndexed implements IndexedAlgorithm: the same steps 1°–4°, with
+// the performance floor delegated to the index's bucket prefilter (AMP has
+// no per-slot price cap, so the filter carries no price condition). The
+// accepted-candidate sequence — and therefore every eviction, budget check,
+// and the returned window — matches FindWindowLinear's, and the Stats
+// counters are reconstructed from the stopping rank (finishScanStats), so
+// the result is byte-identical for every input.
+func (a AMP) FindWindowIndexed(ix *slot.Index, j *job.Job, probe *slot.ScanStats) (*slot.Window, Stats, bool) {
+	var stats Stats
+	if err := validateInput(ix.List(), j); err != nil {
+		return nil, stats, false
+	}
+	req := j.Request
+	budget := req.Budget()
+	limit, n := scanLimit(ix, req)
+	f := slot.Filter{MinPerf: req.MinPerformance}
+
+	alive := make(map[int]candidate) // seq -> candidate
+	var byDeadline deadlineHeap
+	cheapest := newTopK(req.Nodes)
+	accepted := 0
+	var win *slot.Window
+	ix.Scan(f, limit, probe, func(rank int, s slot.Slot) bool {
+		if !suitsBeyondPerformance(s, req) {
+			return true
+		}
+		accepted++
+		// seq mirrors the linear scan's SlotsExamined at acceptance: rank+1.
+		c := newCandidate(s, req, rank+1)
+		if w, ok := a.accept(c, req, budget, alive, &byDeadline, cheapest, &stats); ok {
+			win = buildWindow(j.Name, c.s.Start(), w)
+			finishScanStats(&stats, req, limit, n, rank, accepted, true)
+			return false
+		}
+		return true
+	})
+	if win != nil {
+		return win, stats, true
+	}
+	finishScanStats(&stats, req, limit, n, 0, accepted, false)
+	return nil, stats, false
+}
+
+// accept folds one suitable candidate into the scan state shared by the
+// linear and indexed entry points: advance the window start to the
+// candidate's slot start, expire candidates that can no longer host from
+// there, admit the newcomer, and run the policy's budget check (step 2°).
+// It returns the window members when the check succeeds.
+func (a AMP) accept(c candidate, req job.ResourceRequest, budget sim.Money,
+	alive map[int]candidate, byDeadline *deadlineHeap, cheapest *topK, stats *Stats) ([]candidate, bool) {
+	// The window start advances to T_last = c.s.Start(); expire candidates
+	// that can no longer host from there.
+	tLast := c.s.Start()
+	for byDeadline.Len() > 0 && byDeadline.Peek().deadline < tLast {
+		dead := heap.Pop(byDeadline).(candidate)
+		if _, ok := alive[dead.seq]; ok {
+			delete(alive, dead.seq)
+			cheapest.Remove(dead.seq)
+			stats.CandidatesEvicted++
+		}
+	}
+
+	alive[c.seq] = c
+	heap.Push(byDeadline, c)
+	cheapest.Add(c.seq, c.cost)
+
+	// Step 2°: with at least N candidates, the window is formed as soon as
+	// the policy's N members fit the budget. For the paper's CheapestN
+	// policy that is the cheapest-N sum; the FirstN ablation checks the N
+	// earliest-added alive candidates instead.
+	if cheapest.HasFullK() {
+		stats.BudgetChecks++
+		if a.Policy == CheapestN {
+			// O(1) acceptance test; members materialized only on success.
+			if cheapest.SumCheapest().LessEq(budget) {
+				chosen, _ := a.pick(alive, cheapest, req.Nodes)
+				return chosen, true
+			}
+		} else {
+			chosen, cost := a.pick(alive, cheapest, req.Nodes)
+			if cost.LessEq(budget) {
+				return chosen, true
+			}
+		}
+	}
+	return nil, false
 }
 
 // pick returns the policy's N window members in deterministic order along

@@ -38,6 +38,9 @@ func FindAlternativesFair(algo Algorithm, list *slot.List, batch *job.Batch, opt
 		Algorithm:    algo.Name() + "/fair",
 		Alternatives: make(map[string][]*slot.Window, batch.Len()),
 	}
+	// Probes are read-only between commits, so the incremental index serves
+	// every probe of a round and is updated once per committed window.
+	scan, subtract := newScanner(algo, working, opts)
 	maxPasses := opts.MaxPasses
 	perJobCap := opts.MaxAlternativesPerJob
 	if opts.FirstOnly {
@@ -66,7 +69,7 @@ func FindAlternativesFair(algo Algorithm, list *slot.List, batch *job.Batch, opt
 			bestIdx := -1
 			var best *slot.Window
 			for idx, j := range pending {
-				w, stats, ok := algo.FindWindow(working, j)
+				w, stats, ok := scan(j)
 				res.Stats.Add(stats)
 				if !ok {
 					continue
@@ -81,7 +84,7 @@ func FindAlternativesFair(algo Algorithm, list *slot.List, batch *job.Batch, opt
 			if err := best.Validate(); err != nil {
 				return nil, fmt.Errorf("alloc: %s produced invalid window: %w", algo.Name(), err)
 			}
-			if err := working.SubtractWindow(best); err != nil {
+			if err := subtract(best); err != nil {
 				return nil, fmt.Errorf("alloc: subtracting window for %s: %w", best.JobName, err)
 			}
 			res.Alternatives[best.JobName] = append(res.Alternatives[best.JobName], best)

@@ -1,6 +1,9 @@
 package alloc
 
-import "ecosched/internal/metrics"
+import (
+	"ecosched/internal/metrics"
+	"ecosched/internal/slot"
+)
 
 // SearchMetrics holds the pre-resolved instruments of one algorithm's
 // alternative search. Resolve once per scheduler (or per study) with
@@ -37,6 +40,20 @@ type SearchMetrics struct {
 	// Both stay 0 for the sequential search.
 	SpeculativeRescans *metrics.Counter
 	SnapshotRounds     *metrics.Counter
+	// Index aggregates the slot-index maintenance instruments (rebuilds,
+	// incremental updates, bucket churn) under alloc/<algo>/index/.
+	Index *slot.IndexMetrics
+	// IndexScans counts committed scans answered through the index;
+	// BucketsVisited/BucketsPruned/SlotsSkipped sum their traversal work —
+	// the sublinearity evidence. Recorded only on the sequential drivers'
+	// commit paths; the parallel pipeline's workers scan per-round snapshot
+	// indexes whose bucket layout depends on round structure, so their
+	// traversal is deliberately unrecorded (the scheduling result itself is
+	// identical either way).
+	IndexScans     *metrics.Counter
+	BucketsVisited *metrics.Counter
+	BucketsPruned  *metrics.Counter
+	SlotsSkipped   *metrics.Counter
 }
 
 // NewSearchMetrics resolves the search instruments for one algorithm under
@@ -59,7 +76,31 @@ func NewSearchMetrics(r *metrics.Registry, algo string) *SearchMetrics {
 		ScanLength:         r.Histogram(p+"scan_length_slots", metrics.ExpBuckets(8, 2, 8)),
 		SpeculativeRescans: r.Counter(p + "speculative_rescans_total"),
 		SnapshotRounds:     r.Counter(p + "snapshot_rounds_total"),
+		Index:              slot.NewIndexMetrics(r, p+"index/"),
+		IndexScans:         r.Counter(p + "index/scans_total"),
+		BucketsVisited:     r.Counter(p + "index/buckets_visited_total"),
+		BucketsPruned:      r.Counter(p + "index/buckets_pruned_total"),
+		SlotsSkipped:       r.Counter(p + "index/slots_skipped_total"),
 	}
+}
+
+// indexMetrics returns the index maintenance instruments; nil when disabled.
+func (m *SearchMetrics) indexMetrics() *slot.IndexMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.Index
+}
+
+// probeDone records the traversal work of one committed indexed scan.
+func (m *SearchMetrics) probeDone(p slot.ScanStats) {
+	if m == nil {
+		return
+	}
+	m.IndexScans.Inc()
+	m.BucketsVisited.Add(int64(p.BucketsVisited))
+	m.BucketsPruned.Add(int64(p.BucketsPruned))
+	m.SlotsSkipped.Add(int64(p.SlotsSkipped))
 }
 
 // scanDone records one committed per-job scan outcome.

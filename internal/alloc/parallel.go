@@ -76,11 +76,12 @@ func (sp speculative) consistent(live, snap *slot.List) bool {
 	return live.PrefixEqual(snap, visited)
 }
 
-// scanRound runs FindWindow for every job of todo against the immutable
+// scanRound runs scanOne for every job of todo against an immutable
 // snapshot, using at most parallelism goroutines, and returns the outcomes
 // indexed like todo. Worker scheduling is nondeterministic but harmless: each
-// outcome lands in its own slice element and the snapshot is never written.
-func scanRound(algo Algorithm, snap *slot.List, todo []*job.Job, parallelism int) []speculative {
+// outcome lands in its own slice element and the snapshot (and any index
+// over it) is never written.
+func scanRound(scanOne func(*job.Job) speculative, todo []*job.Job, parallelism int) []speculative {
 	out := make([]speculative, len(todo))
 	if parallelism > len(todo) {
 		parallelism = len(todo)
@@ -96,13 +97,34 @@ func scanRound(algo Algorithm, snap *slot.List, todo []*job.Job, parallelism int
 				if i >= len(todo) {
 					return
 				}
-				w, stats, ok := algo.FindWindow(snap, todo[i])
-				out[i] = speculative{w: w, stats: stats, ok: ok}
+				out[i] = scanOne(todo[i])
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// roundScanner returns the per-job scan the round's workers share: the
+// indexed scan over a freshly built snapshot index by default, or the linear
+// oracle over the raw snapshot. The indexed scan returns byte-identical
+// windows and Stats — in particular SlotsExamined still equals the linear
+// visited-prefix length — so the speculation-consistency argument above
+// carries over unchanged. Workers pass a nil probe: a snapshot index's
+// bucket layout depends on the round structure, so its traversal counts are
+// not comparable across parallelism levels and are simply not recorded here.
+func roundScanner(algo Algorithm, snap *slot.List, opts SearchOptions) func(*job.Job) speculative {
+	if ia, ok := algo.(IndexedAlgorithm); ok && !opts.UseLinearScan {
+		rix := slot.NewIndex(snap, opts.Metrics.indexMetrics())
+		return func(j *job.Job) speculative {
+			w, stats, ok := ia.FindWindowIndexed(rix, j, nil)
+			return speculative{w: w, stats: stats, ok: ok}
+		}
+	}
+	return func(j *job.Job) speculative {
+		w, stats, ok := algo.FindWindow(snap, j)
+		return speculative{w: w, stats: stats, ok: ok}
+	}
 }
 
 // FindAlternativesParallel is FindAlternatives with the per-job window scans
@@ -158,7 +180,7 @@ func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch,
 		foundAny := false
 		for len(todo) > 0 {
 			snap := working.Snapshot()
-			specs := scanRound(algo, snap, todo, parallelism)
+			specs := scanRound(roundScanner(algo, snap, opts), todo, parallelism)
 			// Commit in batch order until a conflict invalidates the
 			// remaining speculation.
 			mutated := false

@@ -22,6 +22,13 @@ type SearchOptions struct {
 	// alternative per job — the degenerate mode most classical schedulers
 	// use, kept for the search-passes ablation.
 	FirstOnly bool
+	// UseLinearScan forces the raw front-to-back list scan (the
+	// FindWindowLinear oracle) instead of the bucketed slot.Index the
+	// drivers use by default. Both paths return byte-identical results —
+	// the scan-equivalence suites pin this — so the knob exists for
+	// differential testing, benchmarking the index against its oracle, and
+	// as an escape hatch, mirroring the dp package's UseDenseDP.
+	UseLinearScan bool
 	// Metrics, when non-nil, receives the search's observability counters
 	// (windows found, scan lengths, pass counts, speculative rescans).
 	// Instrumentation never influences which windows are found: all
@@ -106,6 +113,12 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 		Alternatives: make(map[string][]*slot.Window, batch.Len()),
 	}
 
+	// The index is built once over the working copy and maintained
+	// incrementally through every window subtraction, so later passes pay
+	// bucket-local updates instead of a rebuild. UseLinearScan (or an
+	// algorithm without an indexed scan) falls back to the raw-list oracle.
+	scan, subtract := newScanner(algo, working, opts)
+
 	maxPasses := opts.MaxPasses
 	perJobCap := opts.MaxAlternativesPerJob
 	if opts.FirstOnly {
@@ -125,7 +138,7 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 			if perJobCap > 0 && len(res.Alternatives[j.Name]) >= perJobCap {
 				continue
 			}
-			w, stats, ok := algo.FindWindow(working, j)
+			w, stats, ok := scan(j)
 			res.Stats.Add(stats)
 			opts.Metrics.scanDone(stats, ok)
 			if !ok {
@@ -134,7 +147,7 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 			if err := w.Validate(); err != nil {
 				return nil, fmt.Errorf("alloc: %s produced invalid window: %w", algo.Name(), err)
 			}
-			if err := working.SubtractWindow(w); err != nil {
+			if err := subtract(w); err != nil {
 				return nil, fmt.Errorf("alloc: subtracting window for %s: %w", j.Name, err)
 			}
 			res.Alternatives[j.Name] = append(res.Alternatives[j.Name], w)
@@ -146,6 +159,35 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 	}
 	res.Remaining = working
 	return res, nil
+}
+
+// newScanner binds the per-job window scan and the window subtraction of a
+// sequential driver to either the indexed path (default) or the linear
+// oracle. With the index, subtraction goes through the index so its buckets
+// stay consistent with the working list; the probe records traversal work
+// only when metrics are attached, keeping the disabled path allocation-free.
+func newScanner(algo Algorithm, working *slot.List, opts SearchOptions) (
+	scan func(*job.Job) (*slot.Window, Stats, bool), subtract func(*slot.Window) error) {
+	ia, indexed := algo.(IndexedAlgorithm)
+	if !indexed || opts.UseLinearScan {
+		return func(j *job.Job) (*slot.Window, Stats, bool) { return algo.FindWindow(working, j) },
+			working.SubtractWindow
+	}
+	ix := slot.NewIndex(working, opts.Metrics.indexMetrics())
+	var probe *slot.ScanStats
+	if opts.Metrics != nil {
+		probe = &slot.ScanStats{}
+	}
+	return func(j *job.Job) (*slot.Window, Stats, bool) {
+		if probe != nil {
+			*probe = slot.ScanStats{}
+		}
+		w, stats, ok := ia.FindWindowIndexed(ix, j, probe)
+		if probe != nil {
+			opts.Metrics.probeDone(*probe)
+		}
+		return w, stats, ok
+	}, ix.SubtractWindow
 }
 
 // FindFirst returns only the earliest alternative per job — one pass, one

@@ -19,9 +19,10 @@ import (
 // criteria, postponements, drops, requeues after a node failure, and the
 // final queue — as a canonical string. Two runs with the same seed must
 // produce the same transcript regardless of Parallelism (the determinism
-// contract of the speculative parallel search) and regardless of useDense
+// contract of the speculative parallel search), regardless of useDense
 // (the plan-identity contract of the sparse frontier DP versus the dense
-// reference tables).
+// reference tables), and regardless of useLinear (the scan-equivalence
+// contract of the bucketed slot index versus the linear oracle scan).
 //
 // The seed also selects configuration variety: demand pricing on seeds
 // divisible by 3, a live owner-local arrival stream on seeds divisible by 4,
@@ -30,7 +31,7 @@ import (
 //
 // reg, when non-nil, attaches the observability registry to the session —
 // the transcript must not change (the metrics-neutrality contract).
-func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense bool, reg *metrics.Registry) string {
+func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear bool, reg *metrics.Registry) string {
 	t.Helper()
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
@@ -65,6 +66,7 @@ func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, poli
 		UseDenseDP:       useDense,
 		Metrics:          reg,
 	}
+	cfg.Search.UseLinearScan = useLinear
 	if seed%3 == 0 {
 		cfg.DemandPricing = &metasched.DemandPricing{MinFactor: 0.8, MaxFactor: 1.3}
 	}
@@ -135,12 +137,46 @@ func TestParallelismDifferential(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		for _, a := range algos {
 			for _, policy := range policies {
-				want := diffSessionTranscript(t, seed, a.algo, policy, 1, false, nil)
+				want := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, nil)
 				for _, parallelism := range []int{4, 8} {
-					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, nil)
+					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, false, nil)
 					if got != want {
 						t.Fatalf("seed %d %s %v: parallelism=%d transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
 							seed, a.name, policy, parallelism, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedLinearDifferential drives full metascheduler sessions over 20
+// seeded random scenarios — ALP and both AMP window policies, both batch
+// policies, demand pricing, local arrivals and node failures mixed in by the
+// seed schedule, sequentially and through the speculative parallel pipeline —
+// and asserts the default bucketed slot index produces a byte-identical
+// session transcript to the UseLinearScan oracle: same committed windows,
+// same plan times and costs, same postponements, drops, and failure
+// recovery.
+func TestIndexedLinearDifferential(t *testing.T) {
+	algos := []struct {
+		name string
+		algo alloc.Algorithm
+	}{
+		{"ALP", alloc.ALP{}},
+		{"AMP/cheapest-N", alloc.AMP{}},
+		{"AMP/first-N", alloc.AMP{Policy: alloc.FirstN}},
+	}
+	policies := []metasched.Policy{metasched.MinimizeTime, metasched.MinimizeCost}
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, a := range algos {
+			for _, policy := range policies {
+				for _, parallelism := range []int{1, 4} {
+					linear := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, true, nil)
+					indexed := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, false, nil)
+					if linear != indexed {
+						t.Fatalf("seed %d %s %v p=%d: indexed transcript diverged from linear oracle\n--- linear ---\n%s\n--- indexed ---\n%s",
+							seed, a.name, policy, parallelism, linear, indexed)
 					}
 				}
 			}
@@ -166,8 +202,8 @@ func TestFrontierDenseDifferential(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		for _, a := range algos {
 			for _, policy := range policies {
-				dense := diffSessionTranscript(t, seed, a.algo, policy, 1, true, nil)
-				frontier := diffSessionTranscript(t, seed, a.algo, policy, 1, false, nil)
+				dense := diffSessionTranscript(t, seed, a.algo, policy, 1, true, false, nil)
+				frontier := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, nil)
 				if dense != frontier {
 					t.Fatalf("seed %d %s %v: frontier transcript diverged from dense oracle\n--- dense ---\n%s\n--- frontier ---\n%s",
 						seed, a.name, policy, dense, frontier)

@@ -210,6 +210,16 @@ func (s *Snapshot) Counter(name string) int64 {
 	return 0
 }
 
+// Gauge returns the snapshotted value of the named gauge, 0 when absent.
+func (s *Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
 // HistogramCount returns the snapshotted observation count of the named
 // histogram, 0 when absent.
 func (s *Snapshot) HistogramCount(name string) int64 {

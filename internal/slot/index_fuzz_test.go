@@ -1,0 +1,98 @@
+package slot
+
+import (
+	"testing"
+
+	"ecosched/internal/sim"
+)
+
+// FuzzSlotIndex drives raw fuzz bytes as an operation stream — insert,
+// remove, subtract, query — against an Index and the naive slice model,
+// asserting after every mutation that the indexed list matches the model
+// element for element, the bucket invariants hold (tiling, sortedness,
+// aggregate freshness, permutation membership — so no stale entries survive
+// a subtraction), and Scan agrees with a filtered walk of the model.
+func FuzzSlotIndex(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 10, 0, 200, 1, 30, 7, 0, 8, 2, 5, 1})
+	f.Add(uint8(0), []byte{0, 1, 0, 2, 0, 3, 0, 4, 6, 0, 7, 1, 9, 9})
+	f.Add(uint8(63), []byte{0, 255, 0, 254, 0, 3, 5, 0, 8, 128})
+
+	f.Fuzz(func(t *testing.T, targetRaw uint8, ops []byte) {
+		target := 1 + int(targetRaw)%64
+		nodes := propNodes(6)
+		ix := NewIndexSize(NewList(nil), target, nil)
+		model := listModel{}
+
+		// slotFromByte derives a deterministic, possibly-empty slot; roughly
+		// one in sixteen is empty, exercising Insert's ignore rule.
+		slotFromByte := func(b byte) Slot {
+			n := nodes[int(b)%len(nodes)]
+			start := sim.Time(int64(b) * 7 % 500)
+			length := sim.Duration(int64(b) % 16 * 11)
+			return New(n, start, start.Add(length))
+		}
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			switch {
+			case op < 8: // insert
+				s := slotFromByte(arg)
+				ix.Insert(s)
+				model = model.insert(s)
+			case op < 11 && ix.Len() > 0: // remove
+				r := int(arg) % ix.Len()
+				ix.RemoveAt(r)
+				model = model.removeAt(r)
+			case op < 13 && ix.Len() > 0: // subtract
+				s := ix.At(int(arg) % ix.Len())
+				mid := s.Start().Add(sim.Duration(int64(arg) % int64(s.Length())))
+				used := sim.Interval{Start: mid, End: s.End()}
+				if err := ix.SubtractInterval(s, used); err != nil {
+					t.Fatalf("op %d: subtract %v from %v: %v", i, used, s, err)
+				}
+				at := 0
+				for at < len(model) && model[at] != s {
+					at++
+				}
+				model = model.removeAt(at)
+				left := s
+				left.Span = sim.Interval{Start: s.Start(), End: used.Start}
+				model = model.insert(left)
+			default: // query
+				f := Filter{MinPerf: float64(int(arg) % 5)}
+				if arg%2 == 1 {
+					f.PriceCap = true
+					f.MaxPrice = sim.Money(1 + int(arg)%4)
+				}
+				limit := ix.Len()
+				if arg%3 == 0 {
+					limit = int(arg) % (ix.Len() + 1)
+				}
+				got := collectScan(ix, f, limit)
+				want := modelScan(model, f, limit)
+				if !ranksEqual(got, want) {
+					t.Fatalf("op %d: Scan(%+v, %d) = %v, model says %v", i, f, limit, got, want)
+				}
+				continue // queries don't mutate; skip the re-checks below
+			}
+			if err := ix.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if !model.equalTo(ix.List()) {
+				t.Fatalf("op %d: indexed list diverged from model\nlist:  %v\nmodel: %v",
+					i, ix.List().Slots(), []Slot(model))
+			}
+		}
+
+		// Final sweep: the full filter grid against the end state.
+		for _, f := range indexFilters() {
+			for _, limit := range []int{0, ix.Len() / 2, ix.Len()} {
+				got := collectScan(ix, f, limit)
+				want := modelScan(model, f, limit)
+				if !ranksEqual(got, want) {
+					t.Fatalf("final: Scan(%+v, %d) = %v, model says %v", f, limit, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package slot
+
+import "ecosched/internal/metrics"
+
+// IndexMetrics holds the pre-resolved maintenance instruments of one Index:
+// structure churn (rebuilds, inserts, removes, splits, dropped buckets) and
+// the shape of the bucket tiling. Scan-time traversal work is reported
+// separately through ScanStats so read-only shared indexes stay write-free.
+//
+// A nil *IndexMetrics disables instrumentation at zero cost, following the
+// internal/metrics contract. All observations happen on the mutating
+// goroutine — an Index has exactly one — so identical seeded sessions
+// produce identical values.
+type IndexMetrics struct {
+	// Rebuilds counts full re-tilings (including the initial build).
+	Rebuilds *metrics.Counter
+	// Inserts and Removes count incremental slot mutations applied through
+	// the index.
+	Inserts *metrics.Counter
+	Removes *metrics.Counter
+	// Splits and Drops count buckets divided at the size threshold and
+	// buckets deleted on emptying.
+	Splits *metrics.Counter
+	Drops  *metrics.Counter
+	// Buckets is the current bucket count; BucketSize observes each
+	// bucket's size whenever the tiling changes shape.
+	Buckets    *metrics.Gauge
+	BucketSize *metrics.Histogram
+}
+
+// NewIndexMetrics resolves the index instruments under the given prefix
+// (e.g. "alloc/AMP/index/"). A nil registry returns nil, the disabled state
+// every method accepts.
+func NewIndexMetrics(r *metrics.Registry, prefix string) *IndexMetrics {
+	if r == nil {
+		return nil
+	}
+	return &IndexMetrics{
+		Rebuilds:   r.Counter(prefix + "rebuilds_total"),
+		Inserts:    r.Counter(prefix + "inserts_total"),
+		Removes:    r.Counter(prefix + "removes_total"),
+		Splits:     r.Counter(prefix + "splits_total"),
+		Drops:      r.Counter(prefix + "bucket_drops_total"),
+		Buckets:    r.Gauge(prefix + "buckets"),
+		BucketSize: r.Histogram(prefix+"bucket_size_slots", metrics.ExpBuckets(8, 2, 8)),
+	}
+}
+
+// rebuilt records a full re-tiling and its resulting shape.
+func (m *IndexMetrics) rebuilt(buckets []bucket) {
+	if m == nil {
+		return
+	}
+	m.Rebuilds.Inc()
+	m.shape(buckets)
+}
+
+// resized records a tiling shape change from a split, drop, or first insert.
+func (m *IndexMetrics) resized(buckets []bucket) {
+	if m == nil {
+		return
+	}
+	m.shape(buckets)
+}
+
+func (m *IndexMetrics) shape(buckets []bucket) {
+	m.Buckets.Set(int64(len(buckets)))
+	for i := range buckets {
+		m.BucketSize.Observe(int64(buckets[i].count))
+	}
+}
+
+func (m *IndexMetrics) insert() {
+	if m == nil {
+		return
+	}
+	m.Inserts.Inc()
+}
+
+func (m *IndexMetrics) remove() {
+	if m == nil {
+		return
+	}
+	m.Removes.Inc()
+}
+
+func (m *IndexMetrics) split() {
+	if m == nil {
+		return
+	}
+	m.Splits.Inc()
+}
+
+func (m *IndexMetrics) drop() {
+	if m == nil {
+		return
+	}
+	m.Drops.Inc()
+}

@@ -127,8 +127,20 @@ func (l *List) Insert(s Slot) {
 	if s.Empty() {
 		return
 	}
+	l.insertAt(l.insertionRank(s), s)
+}
+
+// insertionRank returns the rank Insert places s at: after every slot that
+// orders before or ties with s. Index shares this so its bucket bookkeeping
+// agrees with the list placement bit for bit.
+func (l *List) insertionRank(s Slot) int {
+	return sort.Search(len(l.slots), func(i int) bool { return less(s, l.slots[i]) })
+}
+
+// insertAt places s at rank i, shifting later slots right. i must be the
+// rank insertionRank(s) returns or the order invariant breaks.
+func (l *List) insertAt(i int, s Slot) {
 	l.ensureOwned()
-	i := sort.Search(len(l.slots), func(i int) bool { return less(s, l.slots[i]) })
 	l.slots = append(l.slots, Slot{})
 	copy(l.slots[i+1:], l.slots[i:])
 	l.slots[i] = s

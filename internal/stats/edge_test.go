@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileTable pins the nearest-rank quantile over the edge grid the
+// experiment harness actually hits: empty input, clamped q, singletons, and
+// interior ranks.
+func TestQuantileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"singleton-mid", []float64{7}, 0.5, 7},
+		{"q-below-zero", []float64{3, 1, 2}, -0.5, 1},
+		{"q-zero", []float64{3, 1, 2}, 0, 1},
+		{"q-one", []float64{3, 1, 2}, 1, 3},
+		{"q-above-one", []float64{3, 1, 2}, 1.5, 3},
+		{"median-even", []float64{4, 1, 3, 2}, 0.5, 2},
+		{"p90-of-ten", []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 0.9, 9},
+		{"unsorted-input-left-intact", []float64{5, 1}, 1, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Quantile(tc.samples, tc.q); got != tc.want {
+				t.Errorf("Quantile(%v, %v) = %v, want %v", tc.samples, tc.q, got, tc.want)
+			}
+		})
+	}
+	// Quantile must sort a copy, not the caller's slice.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Quantile reordered its input: %v", in)
+	}
+}
+
+// TestLogLogSlopeTable pins the degenerate fits: too few usable points,
+// non-positive coordinates skipped, a zero-variance x axis, and the exact
+// linear and quadratic references the scaling study reads the slope against.
+func TestLogLogSlopeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		ys   []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"one-point", []float64{2}, []float64{4}, 0},
+		{"all-nonpositive", []float64{-1, 0}, []float64{1, 2}, 0},
+		{"one-usable-after-skip", []float64{-1, 2}, []float64{1, 4}, 0},
+		{"same-x-zero-denominator", []float64{3, 3, 3}, []float64{1, 2, 4}, 0},
+		{"linear", []float64{1, 2, 4, 8}, []float64{3, 6, 12, 24}, 1},
+		{"quadratic", []float64{1, 2, 4}, []float64{1, 4, 16}, 2},
+		{"length-mismatch-truncates", []float64{1, 2, 4, 999}, []float64{5, 10, 20}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := LogLogSlope(tc.xs, tc.ys); math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("LogLogSlope(%v, %v) = %v, want %v", tc.xs, tc.ys, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFractionBelowEdgeTable covers the truncation and empty branches.
+func TestFractionBelowEdgeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"both-empty", nil, nil, 0},
+		{"other-empty", []float64{1, 2}, nil, 0},
+		{"self-empty", nil, []float64{1, 2}, 0},
+		{"truncates-to-other", []float64{0, 5, 99}, []float64{1, 1}, 0.5},
+		{"ties-not-below", []float64{2, 2}, []float64{2, 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Series{Values: tc.a}
+			b := Series{Values: tc.b}
+			if got := a.FractionBelow(&b); got != tc.want {
+				t.Errorf("FractionBelow(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/fault"
+	"ecosched/internal/gridsim"
+	"ecosched/internal/job"
+	"ecosched/internal/metasched"
+	"ecosched/internal/metrics"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+// chaosIterations is the scenario length; with the 150-tick step it fixes
+// the horizon the default random fault plan is generated over.
+const (
+	chaosIterations = 12
+	chaosStep       = sim.Duration(150)
+)
+
+// runChaos drives a fault-injected metascheduler session: a 12-node grid
+// with owner-local load, a retry policy with exponential backoff and a
+// price-relaxation degradation ladder, and a fault plan injecting node
+// crashes, recoveries and slot revocations between iterations. faultsSpec
+// is the plan DSL from -faults ("fail@300:cpu3;recover@600:cpu3;
+// revoke@450:cpu5:500-700"); empty generates a seeded random plan. The
+// invariant auditor runs after every event and iteration; the command fails
+// on the first violation.
+func runChaos(seed uint64, faultsSpec string, parallelism int, linearScan bool, reg *metrics.Registry) error {
+	rng := sim.NewRNG(seed)
+	pricing := resource.PaperPricing()
+	var nodes []*resource.Node
+	for i := 0; i < 12; i++ {
+		perf := rng.FloatBetween(1, 3)
+		nodes = append(nodes, &resource.Node{
+			Name:        fmt.Sprintf("cpu%d", i+1),
+			Performance: perf,
+			Price:       pricing.Sample(rng, perf),
+			Domain:      fmt.Sprintf("cluster%d", i/4+1),
+		})
+	}
+	pool, err := resource.NewPool(nodes)
+	if err != nil {
+		return err
+	}
+	grid, err := gridsim.New(pool)
+	if err != nil {
+		return err
+	}
+	grid.SetMetrics(gridsim.NewMetrics(reg))
+	if err := grid.Populate(gridsim.LocalLoad{MeanGap: 120, DurMin: 40, DurMax: 160}, 0, 2400, rng.Split()); err != nil {
+		return err
+	}
+	cfg := metasched.Config{
+		Algorithm:        alloc.AMP{},
+		Policy:           metasched.MinimizeTime,
+		Horizon:          1200,
+		Step:             chaosStep,
+		MaxBatch:         4,
+		MaxPostponements: 5,
+		Parallelism:      parallelism,
+		Metrics:          reg,
+		Retry: &metasched.RetryPolicy{
+			MaxAttempts:      2,
+			BackoffBase:      40,
+			BackoffFactor:    2,
+			BackoffMax:       300,
+			JitterFrac:       0.25,
+			JitterSeed:       seed,
+			PriceRelaxFactor: 1.3,
+			MaxRelaxations:   2,
+			JobDeadline:      1600,
+		},
+	}
+	cfg.Search.UseLinearScan = linearScan
+	sched, err := metasched.New(cfg, grid)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		j := &job.Job{
+			Name:     fmt.Sprintf("job%d", i+1),
+			Priority: i + 1,
+			Request: job.ResourceRequest{
+				Nodes:          rng.IntBetween(1, 4),
+				Time:           sim.Duration(rng.IntBetween(50, 150)),
+				MinPerformance: rng.FloatBetween(1, 2),
+				MaxPrice:       pricing.BasePrice(1.5) * sim.Money(rng.FloatBetween(1.0, 1.5)),
+			},
+		}
+		if err := sched.Submit(j); err != nil {
+			return err
+		}
+	}
+
+	var plan *fault.Plan
+	if faultsSpec != "" {
+		plan, err = fault.ParsePlan(faultsSpec)
+		if err != nil {
+			return err
+		}
+	} else {
+		plan, err = fault.RandomPlan(pool, fault.RandomSpec{
+			Seed:           seed ^ 0xc4a5a511,
+			Horizon:        sim.Time(0).Add(chaosStep * sim.Duration(chaosIterations)),
+			Step:           chaosStep,
+			Rate:           0.5,
+			RevokeFraction: 0.4,
+			Outage:         2 * chaosStep,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("chaos: %d nodes in %d domains, %d fault events: %s\n",
+		pool.Size(), len(pool.Domains()), plan.Len(), plan)
+	sess, err := fault.NewSession(sched, plan, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if err := sess.Run(chaosIterations); err != nil {
+		return err
+	}
+	fmt.Printf("audit: %d violations over %d applied events\n",
+		len(sess.Audit().Violations()), sess.Applied())
+	return nil
+}

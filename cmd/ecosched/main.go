@@ -16,6 +16,7 @@
 //	ecosched robustness [-iterations N]   # failure-injection strategy extension
 //	ecosched scaling                      # operation-count scaling vs backfill
 //	ecosched gridsim                      # multi-iteration metascheduler demo
+//	ecosched chaos  [-faults PLAN]        # fault-injected session with audit
 //
 // The paper's full runs use -iterations 25000; the default of 2000 keeps a
 // laptop run under a minute while preserving every reported shape.
@@ -52,6 +53,7 @@ func run(args []string) error {
 	file := fs.String("file", "", "scenario file for export/replay (\"-\" = stdout)")
 	parallelism := fs.Int("parallelism", 1, "worker goroutines for the alternative search (schedules are identical for every value)")
 	linearScan := fs.Bool("linear-scan", false, "use the linear oracle scan instead of the bucketed slot index (results are identical for either)")
+	faults := fs.String("faults", "", "fault plan for the chaos scenario, e.g. \"fail@300:cpu3;recover@600:cpu3;revoke@450:cpu5:500-700\" (empty = seeded random plan)")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot after the subcommand (\"-\" = stdout, .json = JSON encoding)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the subcommand runs")
 	if err := fs.Parse(rest); err != nil {
@@ -71,7 +73,7 @@ func run(args []string) error {
 	cfg.Metrics = reg
 	cfg.Search.UseLinearScan = *linearScan
 
-	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *parallelism, reg); err != nil {
+	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *faults, *parallelism, reg); err != nil {
 		return err
 	}
 	if reg != nil {
@@ -82,7 +84,7 @@ func run(args []string) error {
 
 // dispatch runs one subcommand; the caller dumps the metrics snapshot (if
 // requested) after it returns, so every subcommand gets -metrics for free.
-func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file string, parallelism int, reg *metrics.Registry) error {
+func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file, faults string, parallelism int, reg *metrics.Registry) error {
 	switch cmd {
 	case "example":
 		return runExample()
@@ -210,6 +212,8 @@ func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations i
 		return runPareto(seed)
 	case "gridsim":
 		return runGridsim(seed, parallelism, cfg.Search.UseLinearScan, reg)
+	case "chaos":
+		return runChaos(seed, faults, parallelism, cfg.Search.UseLinearScan, reg)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -266,10 +270,12 @@ subcommands:
   export    write one generated scenario as JSON (-file out.json)
   replay    rerun the two-phase scheme on an exported scenario (-file in.json)
   gridsim   multi-iteration metascheduler demo on the grid simulator
+  chaos     fault-injected session with retry/backoff and invariant audit
 
 flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism N
                         -metrics PATH (snapshot after the run; "-" = stdout, .json = JSON)
                         -pprof ADDR   (serve net/http/pprof while running)
                         -linear-scan  (linear oracle scan instead of the slot index; identical results)
+                        -faults PLAN  (chaos fault plan, e.g. "fail@300:cpu3;recover@600:cpu3")
 `)
 }

@@ -39,6 +39,8 @@ func TestSubcommandsRun(t *testing.T) {
 		{"scaling"},
 		{"pareto"},
 		{"gridsim"},
+		{"chaos"},
+		{"chaos", "-faults", "fail@300:cpu3;recover@600:cpu3;revoke@450:cpu5:500-700"},
 		{"help"},
 	}
 	for _, args := range cases {
@@ -152,6 +154,9 @@ func TestErrorPaths(t *testing.T) {
 	}
 	if err := run([]string{"fig4", "-iterations", "0"}); err == nil {
 		t.Error("zero iterations accepted")
+	}
+	if err := run([]string{"chaos", "-faults", "melt@300:cpu1"}); err == nil {
+		t.Error("malformed fault plan accepted")
 	}
 }
 

@@ -1,0 +1,191 @@
+package fault_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ecosched/internal/fault"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+func testPool(t *testing.T, n int) *resource.Pool {
+	t.Helper()
+	nodes := make([]*resource.Node, 0, n)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, &resource.Node{
+			Name:        fmt.Sprintf("n%d", i+1),
+			Performance: 1 + float64(i%3),
+			Price:       sim.Money(2 + i%4),
+			Domain:      fmt.Sprintf("d%d", i%3),
+		})
+	}
+	return resource.MustNewPool(nodes)
+}
+
+// TestPlanRoundTrip pins the DSL: ParsePlan(p.String()) reproduces the plan
+// exactly, including time-sorted normalization of out-of-order input.
+func TestPlanRoundTrip(t *testing.T) {
+	const text = "recover@600:n3; fail@300:n3;revoke@450:n5:500-700;;fail@450:n1"
+	p, err := fault.ParsePlan(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fault.Event{
+		{At: 300, Kind: fault.Fail, Node: "n3"},
+		{At: 450, Kind: fault.Revoke, Node: "n5", Span: sim.Interval{Start: 500, End: 700}},
+		{At: 450, Kind: fault.Fail, Node: "n1"},
+		{At: 600, Kind: fault.Recover, Node: "n3"},
+	}
+	if len(p.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d: %v", len(p.Events), len(want), p.Events)
+	}
+	for i, e := range want {
+		if p.Events[i] != e {
+			t.Errorf("event %d = %v, want %v", i, p.Events[i], e)
+		}
+	}
+	rendered := p.String()
+	back, err := fault.ParsePlan(rendered)
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", rendered, err)
+	}
+	if back.String() != rendered {
+		t.Fatalf("round trip diverged:\n first: %s\nsecond: %s", rendered, back.String())
+	}
+}
+
+// TestParsePlanErrors pins the parser's rejection of malformed entries.
+func TestParsePlanErrors(t *testing.T) {
+	cases := []string{
+		"fail300:n1",            // missing '@'
+		"melt@300:n1",           // unknown kind
+		"fail@xx:n1",            // bad time
+		"fail@300",              // missing node
+		"fail@-5:n1",            // negative time
+		"fail@300:",             // empty node
+		"fail@300:n1:10-20",     // span on a non-revoke event
+		"revoke@300:n1",         // revoke without span
+		"revoke@300:n1:10",      // span missing '-'
+		"revoke@300:n1:xx-20",   // bad span start
+		"revoke@300:n1:10-yy",   // bad span end
+		"revoke@300:n1:200-100", // inverted span
+		"revoke@300:n1:50-50",   // empty span
+	}
+	for _, c := range cases {
+		if _, err := fault.ParsePlan(c); err == nil {
+			t.Errorf("ParsePlan(%q) accepted malformed input", c)
+		}
+	}
+	empty, err := fault.ParsePlan("")
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("ParsePlan(\"\") = %v events, err %v; want an empty plan", empty.Len(), err)
+	}
+}
+
+// TestPlanValidatePool checks the pool-level validation CLI drivers rely on.
+func TestPlanValidatePool(t *testing.T) {
+	pool := testPool(t, 3)
+	ok, err := fault.ParsePlan("fail@100:n2;recover@200:n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(pool); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad, err := fault.ParsePlan("fail@100:ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(pool); err == nil {
+		t.Fatal("plan targeting an unknown node passed pool validation")
+	}
+}
+
+// TestStorm checks the batch-wide generator: the requested node fraction
+// crashes at the storm instant, each crash pairs with a recovery when an
+// outage is given, at least one node survives, and the same seed reproduces
+// the same storm.
+func TestStorm(t *testing.T) {
+	pool := testPool(t, 10)
+	events := fault.Storm(pool, 500, 0.5, 200, sim.NewRNG(42))
+	fails, recovers := 0, 0
+	seen := map[string]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case fault.Fail:
+			fails++
+			if e.At != 500 {
+				t.Errorf("storm failure at %v, want 500", e.At)
+			}
+			if seen[e.Node] {
+				t.Errorf("storm failed node %s twice", e.Node)
+			}
+			seen[e.Node] = true
+		case fault.Recover:
+			recovers++
+			if e.At != 700 {
+				t.Errorf("storm recovery at %v, want 700", e.At)
+			}
+		default:
+			t.Errorf("storm produced unexpected event %v", e)
+		}
+	}
+	if fails != 5 || recovers != 5 {
+		t.Fatalf("storm produced %d failures and %d recoveries, want 5 and 5", fails, recovers)
+	}
+
+	again := fault.Storm(pool, 500, 0.5, 200, sim.NewRNG(42))
+	if fmt.Sprint(again) != fmt.Sprint(events) {
+		t.Fatal("same seed produced a different storm")
+	}
+
+	// A full-pool storm must still leave one node standing.
+	total := fault.Storm(pool, 100, 1.0, 0, sim.NewRNG(7))
+	if len(total) != pool.Size()-1 {
+		t.Fatalf("fraction 1.0 storm crashed %d of %d nodes, want all but one", len(total), pool.Size())
+	}
+	if fault.Storm(pool, 100, 0, 0, sim.NewRNG(7)) != nil {
+		t.Fatal("zero-fraction storm produced events")
+	}
+}
+
+// TestRandomPlan checks the seeded generator: deterministic per seed,
+// rate-monotone, every event valid against the pool and round-trippable
+// through the DSL.
+func TestRandomPlan(t *testing.T) {
+	pool := testPool(t, 8)
+	spec := fault.RandomSpec{
+		Seed: 11, Horizon: 3000, Step: 150,
+		Rate: 0.5, RevokeFraction: 0.3, Outage: 450,
+	}
+	p, err := fault.RandomPlan(pool, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() == 0 {
+		t.Fatal("rate-0.5 plan over 19 boundaries generated no events")
+	}
+	if err := p.Validate(pool); err != nil {
+		t.Fatalf("random plan failed pool validation: %v", err)
+	}
+	back, err := fault.ParsePlan(p.String())
+	if err != nil || back.String() != p.String() {
+		t.Fatalf("random plan does not round-trip through the DSL: %v", err)
+	}
+	again, err := fault.RandomPlan(pool, spec)
+	if err != nil || again.String() != p.String() {
+		t.Fatalf("same spec produced a different plan (err %v)", err)
+	}
+
+	quiet, err := fault.RandomPlan(pool, fault.RandomSpec{Seed: 11, Horizon: 3000, Step: 150})
+	if err != nil || quiet.Len() != 0 {
+		t.Fatalf("rate-0 plan has %d events (err %v), want none", quiet.Len(), err)
+	}
+	if _, err := fault.RandomPlan(pool, fault.RandomSpec{Seed: 1, Horizon: 0, Step: 150}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := fault.RandomPlan(pool, fault.RandomSpec{Seed: 1, Horizon: 100, Step: 10, Rate: 1.5}); err == nil {
+		t.Fatal("rate above 1 accepted")
+	}
+}

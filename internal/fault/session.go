@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ecosched/internal/metasched"
+)
+
+// Session drives a metascheduler through a fault plan: before every
+// scheduling iteration it applies the plan events whose time has come (in
+// plan order), re-queuing or dropping the affected jobs through the
+// scheduler's retry policy, and it runs the Audit invariant checker after
+// every injected event and every iteration, failing fast on the first
+// violation.
+//
+// The whole run is written to the transcript writer in a canonical textual
+// form. Because every input is deterministic — the plan is a sorted event
+// list, the scheduler draws only from seeded RNGs — two sessions with the
+// same seed and plan must produce byte-identical transcripts whatever the
+// engine toggles (DP engine, slot index, search parallelism); the chaos
+// soak pins exactly that. With no plan the session writes precisely what
+// WriteIterationReport + WriteSummary produce for an undisturbed run, so
+// the fault layer is provably neutral when idle.
+type Session struct {
+	sched *metasched.Scheduler
+	plan  *Plan
+	audit *Audit
+	w     io.Writer
+	// next indexes the first plan event not yet applied.
+	next int
+}
+
+// NewSession binds a scheduler to a fault plan (nil means no faults) and a
+// transcript writer. The plan is validated against the grid's node pool.
+func NewSession(s *metasched.Scheduler, plan *Plan, w io.Writer) (*Session, error) {
+	if s == nil {
+		return nil, fmt.Errorf("fault: nil scheduler")
+	}
+	if w == nil {
+		w = io.Discard
+	}
+	if plan != nil {
+		if err := plan.Validate(s.Grid().Pool()); err != nil {
+			return nil, err
+		}
+	}
+	return &Session{sched: s, plan: plan, audit: NewAudit(s), w: w}, nil
+}
+
+// Audit returns the session's invariant checker.
+func (s *Session) Audit() *Audit { return s.audit }
+
+// Applied returns how many plan events have fired so far.
+func (s *Session) Applied() int { return s.next }
+
+// Run executes the given number of scheduling iterations under the fault
+// plan. It stops with an error on the first invariant violation or
+// scheduler failure; a normal return means the audit stayed clean
+// throughout.
+func (s *Session) Run(iterations int) error {
+	for i := 0; i < iterations; i++ {
+		if err := s.injectDue(); err != nil {
+			return err
+		}
+		rep, err := s.sched.RunIteration()
+		if err != nil {
+			return err
+		}
+		WriteIterationReport(s.w, rep)
+		for _, p := range rep.Placed {
+			s.audit.JobRescheduled(p.Job.Name)
+		}
+		if err := s.audit.Check(); err != nil {
+			return fmt.Errorf("fault: after iteration %d: %w", rep.Iteration, err)
+		}
+	}
+	WriteSummary(s.w, s.sched, s.next, s.plan.Len())
+	return nil
+}
+
+// injectDue applies every not-yet-applied plan event whose time has been
+// reached, in plan order.
+func (s *Session) injectDue() error {
+	now := s.sched.Grid().Now()
+	for s.next < s.plan.Len() {
+		e := s.plan.Events[s.next]
+		if e.At > now {
+			return nil
+		}
+		s.next++
+		if err := s.apply(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply injects one event through the matching scheduler hook, records the
+// cancelled reservations with the audit, writes the transcript line, and
+// checks the invariants.
+func (s *Session) apply(e Event) error {
+	s.audit.BeginEvent()
+	var requeued []string
+	var err error
+	switch e.Kind {
+	case Fail:
+		requeued, err = s.sched.HandleNodeFailure(e.Node)
+	case Recover:
+		err = s.sched.HandleNodeRecovery(e.Node)
+	case Revoke:
+		requeued, err = s.sched.HandleRevocation(e.Node, e.Span)
+	default:
+		err = fmt.Errorf("unknown event kind %d", int(e.Kind))
+	}
+	if err != nil {
+		return fmt.Errorf("fault: applying %v: %w", e, err)
+	}
+	cancelled := s.audit.EndEvent(e)
+	fmt.Fprintf(s.w, "fault %v cancelled=%d requeued=%v drops=%d\n",
+		e, len(cancelled), requeued, len(s.sched.DroppedJobs()))
+	if err := s.audit.Check(); err != nil {
+		return fmt.Errorf("fault: after event %v: %w", e, err)
+	}
+	return nil
+}
+
+// WriteIterationReport writes one iteration's canonical transcript lines.
+// Fault sessions and the undisturbed baseline runs of the neutrality tests
+// share this function, so "empty plan" and "no fault layer at all" can be
+// compared byte for byte.
+func WriteIterationReport(w io.Writer, rep *metasched.IterationReport) {
+	fmt.Fprintf(w, "it=%d now=%v batch=%d alts=%d planT=%v planC=%v pf=%.3f\n",
+		rep.Iteration, rep.Now, rep.BatchSize, rep.Alternatives, rep.PlanTime, rep.PlanCost, rep.PriceFactor)
+	for _, p := range rep.Placed {
+		fmt.Fprintf(w, "  placed %s -> %v wait=%v\n", p.Job.Name, p.Window.Window, p.WaitTime)
+	}
+	fmt.Fprintf(w, "  postponed=%v dropped=%v\n", rep.Postponed, rep.Dropped)
+}
+
+// WriteSummary writes the end-of-session canonical transcript footer: event
+// application progress, the job ledger, retry-policy bookkeeping, terminal
+// drops with reasons, and the per-domain owner income.
+func WriteSummary(w io.Writer, s *metasched.Scheduler, applied, planned int) {
+	fmt.Fprintf(w, "events=%d/%d queue=%d placed=%d\n", applied, planned, s.QueueLength(), s.PlacedCount())
+	st := s.RetryStats()
+	fmt.Fprintf(w, "retry cancelled=%d requeued=%d relaxed=%d exhausted=%d deadline=%d\n",
+		st.Cancelled, st.Requeued, st.Relaxations, st.DroppedExhausted, st.DroppedDeadline)
+	dropped := s.DroppedJobs()
+	names := make([]string, 0, len(dropped))
+	for name := range dropped {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "dropped %s reason=%s\n", name, dropped[name])
+	}
+	byDomain, total := s.Grid().OwnerIncome()
+	domains := make([]string, 0, len(byDomain))
+	for d := range byDomain {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, d := range domains {
+		fmt.Fprintf(w, "income %s=%v\n", d, byDomain[d])
+	}
+	fmt.Fprintf(w, "income total=%v\n", total)
+}

@@ -35,7 +35,7 @@ func (g *Grid) FailNode(id resource.NodeID, at sim.Time) ([]Task, error) {
 	for _, t := range g.booked[id] {
 		if !t.Local && t.Span.End > at {
 			cancelled = append(cancelled, t)
-			g.income[node.Domain] -= t.Cost
+			g.income[node.Domain] -= t.charged
 			continue
 		}
 		kept = append(kept, t)
@@ -73,7 +73,7 @@ func (g *Grid) CancelJob(name string) []Task {
 		for _, t := range list {
 			if !t.Local && t.Name == name {
 				out = append(out, t)
-				g.income[g.pool.Node(t.Node).Domain] -= t.Cost
+				g.income[g.pool.Node(t.Node).Domain] -= t.charged
 				continue
 			}
 			kept = append(kept, t)
@@ -84,13 +84,82 @@ func (g *Grid) CancelJob(name string) []Task {
 	return out
 }
 
-// RepairNode clears the failure mark; the node publishes vacancy again from
-// the current time on. Reservations cancelled by the failure are not
-// restored — the metascheduler re-schedules them.
-func (g *Grid) RepairNode(id resource.NodeID) error {
+// RecoverNode clears a node's failure mark: the node re-joins the pool and
+// publishes fresh vacancy from the current time on. Reservations cancelled
+// by the failure are never resurrected — they were removed at failure time
+// and only a new Commit through the scheduler can book the node again.
+// Recovering a node that is not failed is a no-op.
+func (g *Grid) RecoverNode(id resource.NodeID) error {
 	if g.pool.Node(id) == nil {
-		return fmt.Errorf("gridsim: repairing unknown node %d", id)
+		return fmt.Errorf("gridsim: recovering unknown node %d", id)
+	}
+	if _, down := g.failed[id]; !down {
+		return nil
 	}
 	delete(g.failed, id)
+	g.metrics.recovered()
 	return nil
+}
+
+// RepairNode is the historical name for RecoverNode, kept for callers of the
+// original failure API.
+func (g *Grid) RepairNode(id resource.NodeID) error { return g.RecoverNode(id) }
+
+// RevokeInterval models an owner reclaiming part of a node's schedule (the
+// transient counterpart of a full node failure): every VO reservation
+// overlapping the span is cancelled and refunded, and the reclaimed span is
+// booked as an owner-local task so it is not re-offered as vacancy. Local
+// tasks and VO reservations outside the span are untouched. The part of the
+// span before the current time is already history and is ignored; a span
+// entirely in the past, or on a failed node (which publishes no vacancy and
+// holds no live reservations), revokes nothing.
+func (g *Grid) RevokeInterval(id resource.NodeID, span sim.Interval) ([]Task, error) {
+	node := g.pool.Node(id)
+	if node == nil {
+		return nil, fmt.Errorf("gridsim: revoking on unknown node %d", id)
+	}
+	if span.Empty() || !span.Valid() {
+		return nil, fmt.Errorf("gridsim: revoking empty or invalid span %v", span)
+	}
+	if span.Start < g.now {
+		span.Start = g.now
+	}
+	if span.Empty() || g.NodeFailed(id) {
+		return nil, nil
+	}
+
+	var cancelled []Task
+	kept := g.booked[id][:0]
+	for _, t := range g.booked[id] {
+		if !t.Local && t.Span.Overlaps(span) {
+			cancelled = append(cancelled, t)
+			g.income[node.Domain] -= t.charged
+			continue
+		}
+		kept = append(kept, t)
+	}
+	g.booked[id] = kept
+
+	// Reclaim the span for the owner: book local tasks over every part of
+	// it not already covered by a surviving booking, so the revoked window
+	// disappears from future VacantSlots publications.
+	free := []sim.Interval{span}
+	for _, t := range g.booked[id] {
+		var next []sim.Interval
+		for _, iv := range free {
+			next = append(next, iv.Subtract(t.Span)...)
+		}
+		free = next
+	}
+	name := fmt.Sprintf("reclaim@%d-%d", span.Start, span.End)
+	for _, iv := range free {
+		if iv.Empty() {
+			continue
+		}
+		if err := g.Book(Task{Name: name, Node: id, Span: iv, Local: true}); err != nil {
+			return cancelled, fmt.Errorf("gridsim: reclaiming %v: %w", iv, err)
+		}
+	}
+	g.metrics.revoked(len(cancelled))
+	return cancelled, nil
 }

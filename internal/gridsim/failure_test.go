@@ -173,3 +173,159 @@ func TestIncomeRefundedOnFailureAndCancel(t *testing.T) {
 		t.Fatalf("income after advance: %v", total)
 	}
 }
+
+// TestIncomeNeverNegativeOnPartialCharge is the regression test for the
+// refund-accounting bug: a VO reservation booked directly through Book (with
+// a Cost but never charged through Commit) must not be "refunded" on
+// cancellation — the owner never received the fee, so the ledger would go
+// negative. Cancellation paths refund what was actually credited.
+func TestIncomeNeverNegativeOnPartialCharge(t *testing.T) {
+	pool := resource.MustNewPool([]*resource.Node{
+		{Name: "a", Performance: 1, Price: 2, Domain: "west"},
+		{Name: "b", Performance: 1, Price: 3, Domain: "west"},
+	})
+	g, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One properly committed (and charged) reservation on node b...
+	w := &slot.Window{JobName: "paid", Placements: []slot.Placement{
+		{Source: slot.New(pool.Node(1), 0, 200), Used: sim.Interval{Start: 0, End: 50}},
+	}}
+	if err := g.Commit(w); err != nil {
+		t.Fatal(err)
+	}
+	// ...and one reservation booked directly on node a, Cost set but never
+	// credited to the ledger.
+	direct := Task{Name: "unpaid", Node: 0, Span: sim.Interval{Start: 0, End: 50}, Cost: 100}
+	if err := g.Book(direct); err != nil {
+		t.Fatal(err)
+	}
+	if by, total := g.OwnerIncome(); !total.ApproxEq(150) || !by["west"].ApproxEq(150) {
+		t.Fatalf("income after setup: %v", total)
+	}
+
+	// Failing node a cancels the never-charged task: no refund, no negative.
+	cancelled, err := g.FailNode(0, 0)
+	if err != nil || len(cancelled) != 1 {
+		t.Fatalf("FailNode: %v, %v", cancelled, err)
+	}
+	if by, total := g.OwnerIncome(); !total.ApproxEq(150) || by["west"] < 0 {
+		t.Fatalf("income went to %v (by %v) after cancelling an uncharged task", total, by)
+	}
+
+	// Same through CancelJob: rebook directly, cancel by name.
+	if err := g.RecoverNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Book(direct); err != nil {
+		t.Fatal(err)
+	}
+	g.CancelJob("unpaid")
+	if by, total := g.OwnerIncome(); !total.ApproxEq(150) || by["west"] < 0 {
+		t.Fatalf("income went to %v (by %v) after CancelJob on an uncharged task", total, by)
+	}
+
+	// The charged reservation still refunds in full, exactly once.
+	g.CancelJob("paid")
+	if _, total := g.OwnerIncome(); !total.ApproxEq(0) {
+		t.Fatalf("income after refunding the charged task: %v", total)
+	}
+}
+
+func TestRecoverNodeIdempotent(t *testing.T) {
+	g := failureGrid(t)
+	if err := g.RecoverNode(0); err != nil {
+		t.Fatalf("recovering a healthy node: %v", err)
+	}
+	if _, err := g.FailNode(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RecoverNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeFailed(0) {
+		t.Fatal("node still failed after recovery")
+	}
+	if err := g.RecoverNode(0); err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if err := g.RecoverNode(9); err == nil {
+		t.Fatal("recovering unknown node accepted")
+	}
+}
+
+func TestRevokeIntervalCancelsOnlyOverlapping(t *testing.T) {
+	g := failureGrid(t)
+	pool := g.Pool()
+	commit := func(name string, node int, start, end sim.Time) {
+		t.Helper()
+		w := &slot.Window{JobName: name, Placements: []slot.Placement{
+			{Source: slot.New(pool.Node(resource.NodeID(node)), 0, 1000), Used: sim.Interval{Start: start, End: end}},
+		}}
+		if err := g.Commit(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit("before", 0, 0, 100)
+	commit("inside", 0, 150, 250)
+	commit("straddle", 0, 280, 400)
+	commit("after", 0, 500, 600)
+	commit("other-node", 1, 150, 250)
+
+	cancelled, err := g.RevokeInterval(0, sim.Interval{Start: 140, End: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, tk := range cancelled {
+		names = append(names, tk.Name)
+	}
+	if len(names) != 2 || names[0] != "inside" || names[1] != "straddle" {
+		t.Fatalf("cancelled %v, want [inside straddle]", names)
+	}
+	// Non-overlapping reservations survive, on both nodes.
+	for _, tk := range g.Tasks(0) {
+		if tk.Name == "inside" || tk.Name == "straddle" {
+			t.Fatalf("revoked reservation %s still booked", tk.Name)
+		}
+	}
+	if len(g.Tasks(1)) != 1 {
+		t.Fatal("revocation leaked to another node")
+	}
+	// The revoked span is reclaimed: no vacancy inside [140, 300).
+	list, err := g.VacantSlots(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range list.Slots() {
+		if s.Node.ID == 0 && s.Span.Overlaps(sim.Interval{Start: 140, End: 300}) {
+			t.Fatalf("revoked span republished as vacancy: %v", s)
+		}
+	}
+	// Income for the two cancelled reservations is refunded, never below 0.
+	if _, total := g.OwnerIncome(); total < 0 {
+		t.Fatalf("negative income after revocation: %v", total)
+	}
+
+	// Degenerate spans: entirely in the past is a no-op, invalid errors.
+	if err := g.Advance(700); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := g.RevokeInterval(0, sim.Interval{Start: 100, End: 200}); err != nil || len(got) != 0 {
+		t.Fatalf("past revocation: %v, %v", got, err)
+	}
+	if _, err := g.RevokeInterval(0, sim.Interval{Start: 300, End: 300}); err == nil {
+		t.Fatal("empty span accepted")
+	}
+	if _, err := g.RevokeInterval(9, sim.Interval{Start: 700, End: 800}); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	// Revoking on a failed node is a no-op.
+	if _, err := g.FailNode(0, 700); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := g.RevokeInterval(0, sim.Interval{Start: 700, End: 900}); err != nil || len(got) != 0 {
+		t.Fatalf("revocation on failed node: %v, %v", got, err)
+	}
+}

@@ -30,6 +30,12 @@ type Task struct {
 	// Cost is the usage fee paid to the owner for a VO reservation
 	// (price per tick at commit time × runtime); zero for local tasks.
 	Cost sim.Money
+	// charged is the amount actually credited to the owner's income ledger
+	// for this booking. Commit sets it equal to Cost; a task booked
+	// directly through Book was never charged, so cancellation paths
+	// refund charged — not Cost — and a domain's income can never go
+	// negative from refunding fees it never received.
+	charged sim.Money
 }
 
 // Grid is the mutable environment state: a node pool plus per-node booked
@@ -165,7 +171,8 @@ func (g *Grid) Commit(w *slot.Window) error {
 	}
 	booked := make([]Task, 0, len(w.Placements))
 	for _, p := range w.Placements {
-		t := Task{Name: w.JobName, Node: p.Source.Node.ID, Span: p.Used, Cost: p.Cost()}
+		cost := p.Cost()
+		t := Task{Name: w.JobName, Node: p.Source.Node.ID, Span: p.Used, Cost: cost, charged: cost}
 		if err := g.Book(t); err != nil {
 			// Roll back partial bookings so a failed commit leaves
 			// the grid unchanged.
@@ -177,7 +184,7 @@ func (g *Grid) Commit(w *slot.Window) error {
 		booked = append(booked, t)
 	}
 	for _, t := range booked {
-		g.income[g.pool.Node(t.Node).Domain] += t.Cost
+		g.income[g.pool.Node(t.Node).Domain] += t.charged
 	}
 	g.metrics.committed(len(booked))
 	return nil

@@ -21,6 +21,12 @@ type Metrics struct {
 	// job cancellations.
 	FailuresInjected      *metrics.Counter
 	ReservationsCancelled *metrics.Counter
+	// NodeRecoveries counts RecoverNode calls that brought a failed node
+	// back; Revocations counts RevokeInterval calls on live nodes and
+	// RevokedReservations the VO reservations they cancelled.
+	NodeRecoveries      *metrics.Counter
+	Revocations         *metrics.Counter
+	RevokedReservations *metrics.Counter
 }
 
 // NewMetrics resolves the grid instruments under the "gridsim/" prefix. A
@@ -36,6 +42,9 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		Reservations:          r.Counter("gridsim/reservations_total"),
 		FailuresInjected:      r.Counter("gridsim/failures_injected_total"),
 		ReservationsCancelled: r.Counter("gridsim/reservations_cancelled_total"),
+		NodeRecoveries:        r.Counter("gridsim/fault/node_recoveries_total"),
+		Revocations:           r.Counter("gridsim/fault/revocations_total"),
+		RevokedReservations:   r.Counter("gridsim/fault/revoked_reservations_total"),
 	}
 }
 
@@ -77,4 +86,20 @@ func (m *Metrics) jobCancelled(tasks int) {
 		return
 	}
 	m.ReservationsCancelled.Add(int64(tasks))
+}
+
+func (m *Metrics) recovered() {
+	if m == nil {
+		return
+	}
+	m.NodeRecoveries.Inc()
+}
+
+func (m *Metrics) revoked(cancelled int) {
+	if m == nil {
+		return
+	}
+	m.Revocations.Inc()
+	m.RevokedReservations.Add(int64(cancelled))
+	m.ReservationsCancelled.Add(int64(cancelled))
 }

@@ -4,9 +4,22 @@ import (
 	"fmt"
 	"testing"
 
+	"ecosched/internal/gridsim"
 	"ecosched/internal/job"
+	"ecosched/internal/resource"
 	"ecosched/internal/sim"
 )
+
+// bareScheduler builds a Scheduler with just enough state (a one-node grid)
+// for the internal helpers under test.
+func bareScheduler(t *testing.T) *Scheduler {
+	t.Helper()
+	g, err := gridsim.New(resource.MustNewPool([]*resource.Node{{Name: "n", Performance: 1, Price: 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Scheduler{grid: g}
+}
 
 // TestFindQueuedMiss pins the miss contract: findQueued must return nil for
 // a name that is not in the queue, never a fabricated zero-value entry. A
@@ -36,7 +49,7 @@ func TestFindQueuedMiss(t *testing.T) {
 // submission order; only the picked batch is reordered.
 func TestBatchForIterationOrdering(t *testing.T) {
 	const n = 500
-	s := &Scheduler{cfg: Config{MaxBatch: 0}}
+	s := bareScheduler(t)
 	for i := 0; i < n; i++ {
 		s.queue = append(s.queue, &queued{
 			job: &job.Job{

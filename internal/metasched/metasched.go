@@ -97,6 +97,13 @@ type Config struct {
 	// across iterations: before each publication, fresh owner-local tasks
 	// are booked into the part of the horizon that became newly visible.
 	LocalArrivals *LocalArrivals
+	// Retry, when non-nil, governs what a cancelled job does after a node
+	// failure or slot revocation: bounded attempts with deterministic
+	// exponential backoff, a price-cap degradation ladder, and terminal
+	// drops with recorded reasons. Nil keeps the historical immediate
+	// re-queue. The policy only engages on cancellations, so a session
+	// that suffers none is byte-identical with and without it.
+	Retry *RetryPolicy
 }
 
 // LocalArrivals configures the owner-local task stream injected as the
@@ -166,6 +173,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("metasched: local arrivals need an RNG")
 		}
 	}
+	if c.Retry != nil {
+		if err := c.Retry.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -174,6 +186,9 @@ type queued struct {
 	job        *job.Job
 	postponed  int
 	submitTick sim.Time
+	// notBefore holds the job out of iteration batches until the clock
+	// reaches it — the retry policy's backoff. Zero means eligible now.
+	notBefore sim.Time
 }
 
 // Scheduled records a successfully placed job.
@@ -221,6 +236,16 @@ type Scheduler struct {
 	seededTo sim.Time
 	// metrics holds the pre-resolved instruments; nil when disabled.
 	metrics *schedMetrics
+	// firstSubmit records each job's first submission tick, the anchor of
+	// the retry policy's per-job deadline and of the audit's conservation
+	// check (submitted = queued + placed + dropped).
+	firstSubmit map[string]sim.Time
+	// retry holds the persistent per-job attempt/relaxation record.
+	retry map[string]*retryState
+	// droppedJobs records terminal drops with their reasons.
+	droppedJobs map[string]string
+	// retryStats is the cancellation bookkeeping exposed to auditors.
+	retryStats RetryStats
 }
 
 // New creates a scheduler over the grid.
@@ -231,7 +256,13 @@ func New(cfg Config, grid *gridsim.Grid) (*Scheduler, error) {
 	if grid == nil {
 		return nil, fmt.Errorf("metasched: nil grid")
 	}
-	s := &Scheduler{cfg: cfg, grid: grid, placed: make(map[string]*job.Job)}
+	s := &Scheduler{
+		cfg:         cfg,
+		grid:        grid,
+		placed:      make(map[string]*job.Job),
+		firstSubmit: make(map[string]sim.Time),
+		droppedJobs: make(map[string]string),
+	}
 	s.metrics = newSchedMetrics(cfg.Metrics)
 	if cfg.Metrics != nil {
 		if s.cfg.Search.Metrics == nil {
@@ -260,6 +291,9 @@ func (s *Scheduler) Submit(j *job.Job) error {
 		return fmt.Errorf("metasched: job %q already placed", j.Name)
 	}
 	s.queue = append(s.queue, &queued{job: j, submitTick: s.grid.Now()})
+	if _, ok := s.firstSubmit[j.Name]; !ok {
+		s.firstSubmit[j.Name] = s.grid.Now()
+	}
 	return nil
 }
 
@@ -269,10 +303,18 @@ func (s *Scheduler) QueueLength() int { return len(s.queue) }
 // Grid returns the scheduler's grid.
 func (s *Scheduler) Grid() *gridsim.Grid { return s.grid }
 
-// batchForIteration picks up to MaxBatch queued jobs by priority.
+// batchForIteration picks up to MaxBatch queued jobs by priority. Jobs held
+// back by a retry backoff (notBefore in the future) are not eligible — they
+// sit out the iteration without it counting as a postponement.
 func (s *Scheduler) batchForIteration() []*queued {
-	picked := make([]*queued, len(s.queue))
-	copy(picked, s.queue)
+	now := s.grid.Now()
+	picked := make([]*queued, 0, len(s.queue))
+	for _, q := range s.queue {
+		if q.notBefore > now {
+			continue
+		}
+		picked = append(picked, q)
+	}
 	// Stable priority order; ties keep submission order.
 	sort.SliceStable(picked, func(i, k int) bool {
 		return picked[i].job.Priority < picked[k].job.Priority
@@ -413,6 +455,7 @@ func (s *Scheduler) RunIteration() (*IterationReport, error) {
 			q.postponed++
 			if s.cfg.MaxPostponements > 0 && q.postponed >= s.cfg.MaxPostponements {
 				rep.Dropped = append(rep.Dropped, q.job.Name)
+				s.droppedJobs[q.job.Name] = "postponements"
 				s.cfg.Trace.Record(trace.Dropped, q.job.Name, "after %d postponements", q.postponed)
 				s.metrics.jobDropped()
 				continue
@@ -510,9 +553,14 @@ func (s *Scheduler) RunUntilDrained(maxIterations int) ([]*IterationReport, erro
 // paper's Section 7 motivates): the node is marked failed in the grid, all
 // reservations it hosted are cancelled, and — because a parallel job's tasks
 // start synchronously — every affected job's surviving placements are
-// released too. The affected jobs re-enter the queue and are re-scheduled on
-// the remaining nodes at the next iteration. It returns the re-queued job
-// names in deterministic order.
+// released too. The affected jobs re-enter the queue under the retry policy
+// (immediately, when none is configured) and are re-scheduled on the
+// remaining nodes at a later iteration. It returns the re-queued job names
+// in deterministic order.
+//
+// The handler is idempotent: failing the same node label twice, or failing
+// overlapping node sets, never re-queues a job that is already back in the
+// queue (jobs are deduplicated by name).
 func (s *Scheduler) HandleNodeFailure(nodeLabel string) ([]string, error) {
 	node := s.grid.Pool().ByName(nodeLabel)
 	if node == nil {
@@ -522,29 +570,5 @@ func (s *Scheduler) HandleNodeFailure(nodeLabel string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	seen := map[string]bool{}
-	var requeued []string
-	for _, t := range cancelled {
-		if seen[t.Name] {
-			continue
-		}
-		seen[t.Name] = true
-		// Release the job's placements on surviving nodes.
-		s.grid.CancelJob(t.Name)
-		j, known := s.placed[t.Name]
-		if !known {
-			// A reservation not placed by this scheduler (e.g. booked
-			// directly on the grid): nothing to re-queue.
-			continue
-		}
-		delete(s.placed, t.Name)
-		if err := s.Submit(j); err != nil {
-			return requeued, fmt.Errorf("metasched: re-queueing %s: %w", t.Name, err)
-		}
-		s.cfg.Trace.Record(trace.Postponed, t.Name, "re-queued after %s failed", nodeLabel)
-		requeued = append(requeued, t.Name)
-	}
-	sort.Strings(requeued)
-	s.metrics.jobsRequeued(len(requeued))
-	return requeued, nil
+	return s.requeueCancelled(cancelled, fmt.Sprintf("%s failed", nodeLabel)), nil
 }

@@ -37,6 +37,12 @@ type schedMetrics struct {
 	phaseSearchSlots    *metrics.Histogram
 	phaseOptimizePoints *metrics.Histogram
 	phaseCommitWindows  *metrics.Histogram
+	// Retry-policy outcomes for environment-cancelled jobs.
+	retryRequeues     *metrics.Counter
+	retryBackoffTicks *metrics.Histogram
+	retryRelaxations  *metrics.Counter
+	retryDropExhaust  *metrics.Counter
+	retryDropDeadline *metrics.Counter
 	// Optimizer engine selection.
 	engineFrontier *metrics.Counter
 	engineDense    *metrics.Counter
@@ -67,6 +73,11 @@ func newSchedMetrics(r *metrics.Registry) *schedMetrics {
 		phaseSearchSlots:    r.Histogram("metasched/phase/search_slots_examined", metrics.ExpBuckets(32, 2, 10)),
 		phaseOptimizePoints: r.Histogram("metasched/phase/optimize_frontier_points", metrics.ExpBuckets(16, 4, 7)),
 		phaseCommitWindows:  r.Histogram("metasched/phase/commit_windows", metrics.LinearBuckets(1, 1, 8)),
+		retryRequeues:       r.Counter("metasched/retry/requeues_total"),
+		retryBackoffTicks:   r.Histogram("metasched/retry/backoff_ticks", metrics.ExpBuckets(25, 2, 9)),
+		retryRelaxations:    r.Counter("metasched/retry/relaxations_total"),
+		retryDropExhaust:    r.Counter("metasched/retry/dropped_exhausted_total"),
+		retryDropDeadline:   r.Counter("metasched/retry/dropped_deadline_total"),
 		engineFrontier:      r.Counter("metasched/engine/frontier_total"),
 		engineDense:         r.Counter("metasched/engine/dense_total"),
 		engineGrid:          r.Counter("metasched/engine/grid_total"),
@@ -135,6 +146,32 @@ func (m *schedMetrics) jobsRequeued(n int) {
 		return
 	}
 	m.requeued.Add(int64(n))
+}
+
+func (m *schedMetrics) retryRequeued(backoff sim.Duration) {
+	if m == nil {
+		return
+	}
+	m.retryRequeues.Inc()
+	m.retryBackoffTicks.Observe(int64(backoff))
+}
+
+func (m *schedMetrics) retryRelaxed() {
+	if m == nil {
+		return
+	}
+	m.retryRelaxations.Inc()
+}
+
+func (m *schedMetrics) retryDropped(deadline bool) {
+	if m == nil {
+		return
+	}
+	if deadline {
+		m.retryDropDeadline.Inc()
+	} else {
+		m.retryDropExhaust.Inc()
+	}
 }
 
 func (m *schedMetrics) planInfeasible() {

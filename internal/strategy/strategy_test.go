@@ -221,15 +221,6 @@ func TestRobustnessStudyAMPMoreRobust(t *testing.T) {
 	}
 }
 
-func TestRobustnessStudyValidation(t *testing.T) {
-	if _, _, err := RobustnessStudy(RobustnessConfig{Iterations: 0}); err == nil {
-		t.Error("zero iterations accepted")
-	}
-	if _, _, err := RobustnessStudy(RobustnessConfig{Iterations: 1, FailureProb: 2}); err == nil {
-		t.Error("probability > 1 accepted")
-	}
-}
-
 func TestStrategyValidateCatchesOverlap(t *testing.T) {
 	n := &resource.Node{Name: "x", Performance: 1, Price: 1}
 	src := slot.New(n, 0, 100)

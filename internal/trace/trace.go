@@ -38,6 +38,15 @@ const (
 	Dropped
 	// Repriced marks a demand-pricing adjustment.
 	Repriced
+	// Revoked marks reservations cancelled by an owner reclaiming a slot
+	// interval.
+	Revoked
+	// Recovered marks a failed node re-joining the pool.
+	Recovered
+	// Relaxed marks a degradation-ladder step: a job's price cap was
+	// raised (and its AMP budget re-derived) after its retry attempts
+	// were exhausted.
+	Relaxed
 )
 
 // String names the kind.
@@ -59,6 +68,12 @@ func (k Kind) String() string {
 		return "dropped"
 	case Repriced:
 		return "repriced"
+	case Revoked:
+		return "revoked"
+	case Recovered:
+		return "recovered"
+	case Relaxed:
+		return "relaxed"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -17,6 +17,7 @@
 //	ecosched scaling                      # operation-count scaling vs backfill
 //	ecosched gridsim                      # multi-iteration metascheduler demo
 //	ecosched chaos  [-faults PLAN]        # fault-injected session with audit
+//	ecosched mc     [-depth N -states N]  # exhaustive schedule/commit model checker
 //
 // The paper's full runs use -iterations 25000; the default of 2000 keeps a
 // laptop run under a minute while preserving every reported shape.
@@ -54,6 +55,12 @@ func run(args []string) error {
 	parallelism := fs.Int("parallelism", 1, "worker goroutines for the alternative search (schedules are identical for every value)")
 	linearScan := fs.Bool("linear-scan", false, "use the linear oracle scan instead of the bucketed slot index (results are identical for either)")
 	faults := fs.String("faults", "", "fault plan for the chaos scenario, e.g. \"fail@300:cpu3;recover@600:cpu3;revoke@450:cpu5:500-700\" (empty = seeded random plan)")
+	universe := fs.String("universe", "default", "model-checker universe: tiny (2 nodes, 2 jobs) or default (3 nodes, 3 jobs)")
+	depth := fs.Int("depth", 8, "model-checker interleaving depth bound")
+	states := fs.Int("states", 200000, "model-checker distinct-state bound")
+	mutation := fs.String("mutation", "none", "model-checker seeded bug: none, double-refund, resurrect (the sweep must catch it)")
+	cexPath := fs.String("cex", "", "write the model-checker counterexample script to this file")
+	liveness := fs.Bool("liveness", true, "model-checker: drain sampled leaf states to check every job terminates")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot after the subcommand (\"-\" = stdout, .json = JSON encoding)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the subcommand runs")
 	if err := fs.Parse(rest); err != nil {
@@ -73,6 +80,9 @@ func run(args []string) error {
 	cfg.Metrics = reg
 	cfg.Search.UseLinearScan = *linearScan
 
+	if cmd == "mc" {
+		return runMC(*universe, *depth, *states, *mutation, *cexPath, *liveness)
+	}
 	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *faults, *parallelism, reg); err != nil {
 		return err
 	}
@@ -271,11 +281,14 @@ subcommands:
   replay    rerun the two-phase scheme on an exported scenario (-file in.json)
   gridsim   multi-iteration metascheduler demo on the grid simulator
   chaos     fault-injected session with retry/backoff and invariant audit
+  mc        bounded exhaustive model checker for the schedule/commit protocol
 
 flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism N
                         -metrics PATH (snapshot after the run; "-" = stdout, .json = JSON)
                         -pprof ADDR   (serve net/http/pprof while running)
                         -linear-scan  (linear oracle scan instead of the slot index; identical results)
                         -faults PLAN  (chaos fault plan, e.g. "fail@300:cpu3;recover@600:cpu3")
+mc flags:               -universe tiny|default -depth N -states N -liveness
+                        -mutation none|double-refund|resurrect -cex PATH
 `)
 }

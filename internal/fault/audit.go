@@ -29,6 +29,19 @@ func (k resKey) String() string {
 	return fmt.Sprintf("%s@node%d:%v", k.name, k.node, k.span)
 }
 
+// Target is the scheduler surface the auditor reads: the grid plus the
+// job, drop, and cancellation ledgers. *metasched.Scheduler satisfies it
+// directly; tests wrap one and override a single accessor to prove each
+// conservation check trips on exactly the ledger it guards.
+type Target interface {
+	Grid() *gridsim.Grid
+	SubmittedCount() int
+	QueueLength() int
+	PlacedCount() int
+	DroppedJobs() map[string]string
+	RetryStats() metasched.RetryStats
+}
+
 // Audit checks the metascheduler's global safety invariants after every
 // injected fault event and every scheduling iteration:
 //
@@ -46,7 +59,7 @@ func (k resKey) String() string {
 // Violations accumulate; Check returns an error describing the new ones so
 // a driver can fail fast while tests can also inspect the full list.
 type Audit struct {
-	sched *metasched.Scheduler
+	sched Target
 	grid  *gridsim.Grid
 	// cancelled maps reservations removed by fault events to the event
 	// that removed them; cleared per job when the scheduler legitimately
@@ -59,7 +72,7 @@ type Audit struct {
 }
 
 // NewAudit builds an auditor over the scheduler and its grid.
-func NewAudit(s *metasched.Scheduler) *Audit {
+func NewAudit(s Target) *Audit {
 	return &Audit{
 		sched:     s,
 		grid:      s.Grid(),
@@ -72,6 +85,21 @@ func (a *Audit) Violations() []string {
 	out := make([]string, len(a.violations))
 	copy(out, a.violations)
 	return out
+}
+
+// CancelledKeys returns the auditor's outstanding cancelled-reservation
+// records — the (job, node, span) keys removed by fault events whose jobs
+// have not been legitimately re-placed — in sorted order. The model checker
+// folds them into its canonical state hash: two histories that agree on
+// scheduler and grid state but disagree on which reservations the
+// resurrection check still watches are different states.
+func (a *Audit) CancelledKeys() []string {
+	keys := make([]string, 0, len(a.cancelled))
+	for k := range a.cancelled {
+		keys = append(keys, k.String())
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // voReservations keys the grid's current VO reservations.

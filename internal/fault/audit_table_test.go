@@ -1,0 +1,189 @@
+package fault_test
+
+import (
+	"strings"
+	"testing"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/fault"
+	"ecosched/internal/gridsim"
+	"ecosched/internal/metasched"
+	"ecosched/internal/sim"
+)
+
+// corruptTarget wraps a real scheduler and overrides a single ledger
+// accessor, so each conservation invariant can be tripped in isolation
+// without inventing a corrupt execution path through the production code.
+type corruptTarget struct {
+	fault.Target
+	submittedDelta int
+	stats          *metasched.RetryStats
+}
+
+func (c corruptTarget) SubmittedCount() int {
+	return c.Target.SubmittedCount() + c.submittedDelta
+}
+
+func (c corruptTarget) RetryStats() metasched.RetryStats {
+	if c.stats != nil {
+		return *c.stats
+	}
+	return c.Target.RetryStats()
+}
+
+// TestAuditFailureModes drives the auditor against hand-built corrupt
+// states, one per invariant: every clause of the safety set must trip on
+// exactly the corruption aimed at it. Until this suite the auditor was only
+// ever exercised on healthy states plus three ad-hoc breakages; this is the
+// systematic complement — the same states the model checker's mutation
+// harness steers the real code towards.
+func TestAuditFailureModes(t *testing.T) {
+	span := func(s, e int64) sim.Interval { return sim.Interval{Start: sim.Time(s), End: sim.Time(e)} }
+	cases := []struct {
+		name string
+		// corrupt mutates a healthy scheduler/grid (and may drive the
+		// audit's event hooks) into the broken state under test.
+		corrupt func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit)
+		// wrap, when set, interposes a ledger-corrupting Target.
+		wrap func(s *metasched.Scheduler) fault.Target
+		// want are substrings each expected violation must contain, in
+		// order; the corruption must produce exactly len(want) violations.
+		want []string
+	}{
+		{
+			name: "empty-span-booking",
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {
+				g.ForceBook(gridsim.Task{Name: "hollow", Node: 0, Span: span(50, 50)})
+			},
+			want: []string{"empty or invalid span"},
+		},
+		{
+			name: "double-booking",
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {
+				g.ForceBook(gridsim.Task{Name: "first", Node: 0, Span: span(10, 50)})
+				g.ForceBook(gridsim.Task{Name: "second", Node: 0, Span: span(30, 60)})
+			},
+			want: []string{"double-booking"},
+		},
+		{
+			name: "bookings-out-of-order",
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {
+				// Appended out of start order; an out-of-order pair always
+				// also reads as an overlap (prev ends after next starts by
+				// construction), so two violations are expected.
+				g.ForceBook(gridsim.Task{Name: "later", Node: 1, Span: span(100, 140)})
+				g.ForceBook(gridsim.Task{Name: "earlier", Node: 1, Span: span(10, 40)})
+			},
+			want: []string{"bookings out of order", "double-booking"},
+		},
+		{
+			name: "negative-income",
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {
+				// A refund with no matching charge — the double-refund bug.
+				g.AdjustIncome("d0", -5)
+			},
+			want: []string{"income -5.00 is negative"},
+		},
+		{
+			name: "job-conservation",
+			wrap: func(s *metasched.Scheduler) fault.Target {
+				return corruptTarget{Target: s, submittedDelta: 1}
+			},
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {},
+			want:    []string{"job conservation broken"},
+		},
+		{
+			name: "cancellation-conservation",
+			wrap: func(s *metasched.Scheduler) fault.Target {
+				return corruptTarget{Target: s, stats: &metasched.RetryStats{Cancelled: 1}}
+			},
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {},
+			want:    []string{"cancellation conservation broken"},
+		},
+		{
+			name: "live-reservation-on-failed-node",
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {
+				if _, err := g.FailNode(0, 0); err != nil {
+					t.Fatal(err)
+				}
+				g.ForceBook(gridsim.Task{Name: "zombie", Node: 0, Span: span(10, 400)})
+			},
+			want: []string{"failed node n1 holds live reservation"},
+		},
+		{
+			name: "resurrection",
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {
+				victim := gridsim.Task{Name: "victim", Node: 0, Span: span(100, 200)}
+				if err := g.Book(victim); err != nil {
+					t.Fatal(err)
+				}
+				a.BeginEvent()
+				g.CancelJob("victim")
+				ev := fault.Event{At: 0, Kind: fault.Revoke, Node: "n1", Span: span(100, 200)}
+				if got := a.EndEvent(ev); len(got) != 1 {
+					t.Fatalf("EndEvent reported %v, want one cancellation", got)
+				}
+				if keys := a.CancelledKeys(); len(keys) != 1 || !strings.Contains(keys[0], "victim") {
+					t.Fatalf("CancelledKeys = %v, want the victim's key", keys)
+				}
+				g.ForceBook(victim)
+			},
+			want: []string{"resurrected"},
+		},
+		{
+			name: "event-adds-capacity",
+			corrupt: func(t *testing.T, s *metasched.Scheduler, g *gridsim.Grid, a *fault.Audit) {
+				a.BeginEvent()
+				g.ForceBook(gridsim.Task{Name: "smuggled", Node: 1, Span: span(50, 90)})
+				a.EndEvent(fault.Event{At: 0, Kind: fault.Recover, Node: "n2"})
+			},
+			want: []string{"must only remove capacity"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pool := testPool(t, 3)
+			grid, err := gridsim.New(pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := metasched.New(metasched.Config{
+				Algorithm: alloc.ALP{}, Horizon: 1000, Step: 100,
+			}, grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var target fault.Target = sched
+			if tc.wrap != nil {
+				target = tc.wrap(sched)
+			}
+			audit := fault.NewAudit(target)
+			if tc.wrap == nil {
+				// The healthy state is clean, so whatever trips next is
+				// the corruption's doing. (Wrapped targets are corrupt
+				// from the start by construction.)
+				if err := audit.Check(); err != nil {
+					t.Fatalf("healthy state flagged: %v", err)
+				}
+			}
+			tc.corrupt(t, sched, grid, audit)
+			// Some corruptions are caught by the event hooks during corrupt
+			// (event-adds-capacity), the rest by Check; either way the full
+			// violation log must hold exactly the expected breaches.
+			audit.Check()
+			got := audit.Violations()
+			if len(got) == 0 {
+				t.Fatal("corrupt state passed the audit")
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d violations %v, want %d", len(got), got, len(tc.want))
+			}
+			for i, want := range tc.want {
+				if !strings.Contains(got[i], want) {
+					t.Errorf("violation %d = %q, want it to mention %q", i, got[i], want)
+				}
+			}
+		})
+	}
+}

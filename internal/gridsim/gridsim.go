@@ -88,6 +88,13 @@ func (g *Grid) Book(t Task) error {
 	if t.Span.Start < g.now {
 		return fmt.Errorf("gridsim: task %s starts at %v before current time %v", t.Name, t.Span.Start, g.now)
 	}
+	if !t.Local && g.NodeFailed(t.Node) {
+		// A failed node publishes no vacancy, so no window search can
+		// legitimately land here — a VO reservation on a failed node can
+		// only come from a plan that went stale mid-iteration, and
+		// accepting it would violate the failed-node safety invariant.
+		return fmt.Errorf("gridsim: task %s books failed node %s", t.Name, node.Label())
+	}
 	list := g.booked[t.Node]
 	i := sort.Search(len(list), func(i int) bool { return list[i].Span.Start >= t.Span.Start })
 	if i > 0 && list[i-1].Span.End > t.Span.Start {

@@ -1,0 +1,146 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionKind enumerates the explorer's transition alphabet.
+type ActionKind int
+
+const (
+	// ActSubmit submits job Arg to the scheduler queue.
+	ActSubmit ActionKind = iota
+	// ActPlan opens an iteration: BeginIteration (seed, freeze batch)
+	// followed by Plan (publish, search, optimize). Read-only on the grid,
+	// so the chosen combination is optimistic.
+	ActPlan
+	// ActCommit closes the open iteration: Apply (commit windows, requeue
+	// the rest) followed by Finish (advance the clock one step).
+	ActCommit
+	// ActTick advances the clock one step without scheduling — the retry
+	// backoff timer firing, or dead time between iterations.
+	ActTick
+	// ActFail crashes node Arg.
+	ActFail
+	// ActRecover re-joins failed node Arg.
+	ActRecover
+	// ActRevoke reclaims the universe's RevokeSpan on node Arg.
+	ActRevoke
+)
+
+// Action is one transition: a kind plus a job index (ActSubmit) or node
+// index (ActFail/ActRecover/ActRevoke); Arg is unused otherwise.
+type Action struct {
+	Kind ActionKind
+	Arg  int
+}
+
+// Render writes the action in the replay-script syntax: the keyword alone
+// for plan/commit/tick, keyword plus the job or node name otherwise.
+func (a Action) Render(u *Universe) string {
+	switch a.Kind {
+	case ActSubmit:
+		return "submit " + u.Jobs[a.Arg].Name
+	case ActPlan:
+		return "plan"
+	case ActCommit:
+		return "commit"
+	case ActTick:
+		return "tick"
+	case ActFail:
+		return "fail " + u.Nodes[a.Arg].Name
+	case ActRecover:
+		return "recover " + u.Nodes[a.Arg].Name
+	case ActRevoke:
+		return "revoke " + u.Nodes[a.Arg].Name
+	default:
+		return fmt.Sprintf("action(%d,%d)", int(a.Kind), a.Arg)
+	}
+}
+
+// RenderTrace writes a whole trace, one action per line.
+func RenderTrace(u *Universe, trace []Action) string {
+	var b strings.Builder
+	for _, a := range trace {
+		b.WriteString(a.Render(u))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseScript parses a replay script back into a trace: one action per
+// line, '#' comments and blank lines ignored. Render and ParseScript are
+// inverses, which is what makes a printed counterexample replayable.
+func ParseScript(u *Universe, script string) ([]Action, error) {
+	var trace []Action
+	for ln, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var a Action
+		switch fields[0] {
+		case "plan", "commit", "tick":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("mc: line %d: %q takes no argument", ln+1, fields[0])
+			}
+			switch fields[0] {
+			case "plan":
+				a.Kind = ActPlan
+			case "commit":
+				a.Kind = ActCommit
+			case "tick":
+				a.Kind = ActTick
+			}
+		case "submit":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mc: line %d: submit needs a job name", ln+1)
+			}
+			j := jobIndex(u, fields[1])
+			if j < 0 {
+				return nil, fmt.Errorf("mc: line %d: unknown job %q", ln+1, fields[1])
+			}
+			a = Action{Kind: ActSubmit, Arg: j}
+		case "fail", "recover", "revoke":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mc: line %d: %s needs a node name", ln+1, fields[0])
+			}
+			n := nodeIndex(u, fields[1])
+			if n < 0 {
+				return nil, fmt.Errorf("mc: line %d: unknown node %q", ln+1, fields[1])
+			}
+			switch fields[0] {
+			case "fail":
+				a = Action{Kind: ActFail, Arg: n}
+			case "recover":
+				a = Action{Kind: ActRecover, Arg: n}
+			case "revoke":
+				a = Action{Kind: ActRevoke, Arg: n}
+			}
+		default:
+			return nil, fmt.Errorf("mc: line %d: unknown action %q", ln+1, fields[0])
+		}
+		trace = append(trace, a)
+	}
+	return trace, nil
+}
+
+func jobIndex(u *Universe, name string) int {
+	for i, j := range u.Jobs {
+		if j.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func nodeIndex(u *Universe, name string) int {
+	for i, n := range u.Nodes {
+		if n.Name == name {
+			return i
+		}
+	}
+	return -1
+}

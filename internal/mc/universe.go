@@ -1,0 +1,139 @@
+package mc
+
+import (
+	"fmt"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/job"
+	"ecosched/internal/metasched"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+// NodeSpec describes one node of a model-checking universe. Specs are
+// templates: every replay builds a fresh pool from them, so instances never
+// share mutable state.
+type NodeSpec struct {
+	Name        string
+	Performance float64
+	Price       sim.Money
+	Domain      string
+}
+
+// JobSpec describes one job of the universe. Jobs are identified by index;
+// each may be submitted at most once per trace.
+type JobSpec struct {
+	Name     string
+	Nodes    int
+	Time     sim.Duration
+	MaxPrice sim.Money
+}
+
+// Universe is the finite world the explorer enumerates: the node pool, the
+// job population, the scheduler configuration, and the one revocation span
+// the revoke action uses. Everything is deterministic — no RNG, no local
+// arrival load — so a trace fully determines the reached state.
+type Universe struct {
+	Nodes []NodeSpec
+	Jobs  []JobSpec
+	// Horizon and Step are the scheduler's look-ahead and clock advance.
+	Horizon, Step sim.Duration
+	// MaxPostponements bounds how long a job may ride the queue, which in
+	// turn bounds the fault-free drain the liveness check runs.
+	MaxPostponements int
+	// Retry governs cancelled jobs; bounded attempts keep liveness finite.
+	Retry *metasched.RetryPolicy
+	// RevokeSpan is the interval every revoke action reclaims.
+	RevokeSpan sim.Interval
+}
+
+// Tiny is the smallest interesting universe: two nodes in two domains, two
+// jobs. It exhausts completely at moderate depth, so tests can sweep it
+// without bounds kicking in.
+func Tiny() *Universe {
+	return &Universe{
+		Nodes: []NodeSpec{
+			{Name: "n1", Performance: 1, Price: 2, Domain: "d0"},
+			{Name: "n2", Performance: 1, Price: 3, Domain: "d1"},
+		},
+		Jobs: []JobSpec{
+			{Name: "j1", Nodes: 1, Time: 40, MaxPrice: 10},
+			{Name: "j2", Nodes: 1, Time: 60, MaxPrice: 10},
+		},
+		Horizon:          200,
+		Step:             50,
+		MaxPostponements: 3,
+		Retry: &metasched.RetryPolicy{
+			MaxAttempts: 1,
+			BackoffBase: 50,
+			BackoffMax:  50,
+		},
+		RevokeSpan: sim.Interval{Start: 40, End: 120},
+	}
+}
+
+// Default is the CI universe: three nodes across two domains and three jobs
+// including a two-node co-allocation, the smallest population where a
+// failure can strand half of a parallel window.
+func Default() *Universe {
+	u := Tiny()
+	u.Nodes = append(u.Nodes, NodeSpec{Name: "n3", Performance: 2, Price: 4, Domain: "d1"})
+	u.Jobs = append(u.Jobs, JobSpec{Name: "j3", Nodes: 2, Time: 30, MaxPrice: 10})
+	return u
+}
+
+// Validate checks the universe is well-formed and small enough for the
+// bitmask bookkeeping the explorer uses.
+func (u *Universe) Validate() error {
+	if len(u.Nodes) == 0 || len(u.Nodes) > 8 {
+		return fmt.Errorf("mc: universe needs 1..8 nodes, has %d", len(u.Nodes))
+	}
+	if len(u.Jobs) == 0 || len(u.Jobs) > 8 {
+		return fmt.Errorf("mc: universe needs 1..8 jobs, has %d", len(u.Jobs))
+	}
+	if u.Step <= 0 || u.Horizon <= 0 {
+		return fmt.Errorf("mc: universe needs positive step and horizon")
+	}
+	if u.RevokeSpan.Empty() || !u.RevokeSpan.Valid() {
+		return fmt.Errorf("mc: invalid revoke span %v", u.RevokeSpan)
+	}
+	return nil
+}
+
+// pool builds a fresh node pool from the specs.
+func (u *Universe) pool() (*resource.Pool, error) {
+	nodes := make([]*resource.Node, len(u.Nodes))
+	for i, spec := range u.Nodes {
+		nodes[i] = &resource.Node{
+			Name:        spec.Name,
+			Performance: spec.Performance,
+			Price:       spec.Price,
+			Domain:      spec.Domain,
+		}
+	}
+	return resource.NewPool(nodes)
+}
+
+// buildJob materializes a fresh job for submission; each replay gets its
+// own copies because the retry ladder may mutate a job's request in place.
+func (u *Universe) buildJob(i int) *job.Job {
+	spec := u.Jobs[i]
+	return &job.Job{Name: spec.Name, Request: job.ResourceRequest{
+		Nodes:          spec.Nodes,
+		Time:           spec.Time,
+		MinPerformance: 1,
+		MaxPrice:       spec.MaxPrice,
+	}}
+}
+
+// config assembles the scheduler configuration all replays share.
+func (u *Universe) config() metasched.Config {
+	return metasched.Config{
+		Algorithm:        alloc.ALP{},
+		Policy:           metasched.MinimizeTime,
+		Horizon:          u.Horizon,
+		Step:             u.Step,
+		MaxPostponements: u.MaxPostponements,
+		Retry:            u.Retry,
+	}
+}

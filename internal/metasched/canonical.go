@@ -1,0 +1,69 @@
+package metasched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalState appends a deterministic, complete serialization of the
+// scheduler's mutable state to b: the iteration counter, the queue in
+// order (with each entry's postponement count, submission tick, retry
+// backoff gate, and the job's current — possibly relaxed — request), the
+// placed set, the submission/retry/drop ledgers, and the cancellation
+// bookkeeping. Together with gridsim.Grid.CanonicalState this is the whole
+// observable state of a session, so the model checker can hash it to
+// deduplicate interleavings: equal serializations ⇒ indistinguishable
+// futures.
+func (s *Scheduler) CanonicalState(b *strings.Builder) {
+	fmt.Fprintf(b, "sched iter=%d seededTo=%d\n", s.iter, int64(s.seededTo))
+	for _, q := range s.queue {
+		fmt.Fprintf(b, "queued %s prio=%d postponed=%d submit=%d notBefore=%d req{%v}\n",
+			q.job.Name, q.job.Priority, q.postponed, int64(q.submitTick), int64(q.notBefore), q.job.Request)
+	}
+	for _, name := range sortedKeys(s.placed) {
+		fmt.Fprintf(b, "placed %s req{%v}\n", name, s.placed[name].Request)
+	}
+	for _, name := range sortedKeys(s.firstSubmit) {
+		fmt.Fprintf(b, "submitted %s at=%d\n", name, int64(s.firstSubmit[name]))
+	}
+	for _, name := range sortedKeys(s.retry) {
+		st := s.retry[name]
+		fmt.Fprintf(b, "retry %s attempts=%d relaxations=%d\n", name, st.attempts, st.relaxations)
+	}
+	for _, name := range sortedKeys(s.droppedJobs) {
+		fmt.Fprintf(b, "dropped %s reason=%s\n", name, s.droppedJobs[name])
+	}
+	st := s.retryStats
+	fmt.Fprintf(b, "retrystats cancelled=%d requeued=%d relaxed=%d exhausted=%d deadline=%d\n",
+		st.Cancelled, st.Requeued, st.Relaxations, st.DroppedExhausted, st.DroppedDeadline)
+}
+
+// CanonicalState appends the in-flight iteration's state to b: the frozen
+// batch, whether Plan has run, and the chosen combination awaiting Apply.
+// An open iteration is real scheduler state — two sessions that agree on
+// everything else but hold different pending plans diverge at the next
+// Apply — so the model checker folds it into the state hash.
+func (it *Iteration) CanonicalState(b *strings.Builder) {
+	fmt.Fprintf(b, "iteration open=%d planned=%t applied=%t alts=%d planT=%v planC=%v pf=%g stale=%d\n",
+		it.rep.Iteration, it.planned, it.applied, it.rep.Alternatives, it.rep.PlanTime, it.rep.PlanCost,
+		it.rep.PriceFactor, it.stale)
+	for _, q := range it.selected {
+		fmt.Fprintf(b, "batched %s\n", q.job.Name)
+	}
+	if it.plan != nil {
+		for _, ch := range it.plan.Choices {
+			fmt.Fprintf(b, "chosen %s -> %v\n", ch.Job.Name, ch.Window)
+		}
+	}
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

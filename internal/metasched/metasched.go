@@ -6,7 +6,6 @@
 package metasched
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -16,7 +15,6 @@ import (
 	"ecosched/internal/job"
 	"ecosched/internal/metrics"
 	"ecosched/internal/sim"
-	"ecosched/internal/slot"
 	"ecosched/internal/trace"
 )
 
@@ -328,146 +326,21 @@ func (s *Scheduler) batchForIteration() []*queued {
 // RunIteration performs one scheduling iteration: publish local schedules,
 // search alternatives, optimize the combination, commit reservations, and
 // advance the clock by Step. It returns the iteration report; an empty queue
-// still advances time.
+// still advances time. It is exactly the step sequence BeginIteration →
+// Plan → Apply → Finish with nothing interleaved; drivers that inject
+// environment dynamics mid-iteration use the steps directly (see Iteration).
 func (s *Scheduler) RunIteration() (*IterationReport, error) {
-	s.iter++
-	rep := &IterationReport{Iteration: s.iter, Now: s.grid.Now()}
-	s.cfg.Trace.BeginIteration(s.iter, s.grid.Now())
-	horizon := s.grid.Now().Add(s.cfg.Horizon)
-	if la := s.cfg.LocalArrivals; la != nil && s.seededTo < horizon {
-		from := s.seededTo
-		if from < s.grid.Now() {
-			from = s.grid.Now()
-		}
-		if err := s.grid.Populate(la.Load, from, horizon, la.RNG); err != nil {
-			return nil, err
-		}
-		s.seededTo = horizon
-	}
-	selected := s.batchForIteration()
-	rep.BatchSize = len(selected)
-	s.metrics.iterationStarted(len(selected))
-	if len(selected) == 0 {
-		return rep, s.grid.Advance(s.grid.Now().Add(s.cfg.Step))
-	}
-
-	jobs := make([]*job.Job, len(selected))
-	for i, q := range selected {
-		jobs[i] = q.job
-	}
-	batch, err := job.NewBatch(jobs)
+	it, err := s.BeginIteration()
 	if err != nil {
 		return nil, err
 	}
-	vacant, err := s.grid.VacantSlots(horizon)
-	if err != nil {
+	if err := it.Plan(); err != nil {
 		return nil, err
 	}
-	if s.cfg.DemandPricing != nil {
-		factor := s.cfg.DemandPricing.factor(s.grid.Utilization(horizon))
-		rep.PriceFactor = float64(factor)
-		vacant = vacant.Reprice(func(sl slot.Slot) sim.Money { return sl.Price * factor })
-		s.cfg.Trace.Record(trace.Repriced, "", "utilization factor %.3f over %d slots", float64(factor), vacant.Len())
-	}
-	s.metrics.published(vacant.Len())
-	s.cfg.Trace.Record(trace.SearchStarted, "", "%s over %d slots for %d jobs", s.cfg.Algorithm.Name(), vacant.Len(), batch.Len())
-	search, err := alloc.FindAlternativesParallel(s.cfg.Algorithm, vacant, batch, s.cfg.Search, s.cfg.Parallelism)
-	if err != nil {
+	if err := it.Apply(); err != nil {
 		return nil, err
 	}
-	rep.Alternatives = search.TotalAlternatives()
-	s.metrics.searched(search.Stats.SlotsExamined, rep.Alternatives)
-	for _, j := range batch.Jobs() {
-		ws := search.Alternatives[j.Name]
-		if len(ws) == 0 {
-			s.cfg.Trace.Record(trace.SearchFailed, j.Name, "no suitable window on the current list")
-			continue
-		}
-		for _, w := range ws {
-			s.cfg.Trace.Record(trace.WindowFound, j.Name, "%v", w)
-		}
-	}
-
-	// Only covered jobs enter the optimization; the rest are postponed.
-	var covered []*job.Job
-	for _, j := range batch.Jobs() {
-		if len(search.Alternatives[j.Name]) > 0 {
-			covered = append(covered, j)
-		}
-	}
-	placedNames := map[string]bool{}
-	if len(covered) > 0 {
-		subBatch, err := job.NewBatch(covered)
-		if err != nil {
-			return nil, err
-		}
-		plan, err := s.optimize(subBatch, dp.Alternatives(search.Alternatives))
-		if err != nil {
-			var inf *dp.ErrInfeasible
-			if !errors.As(err, &inf) {
-				return nil, err
-			}
-			// Infeasible combination: postpone the whole batch.
-			s.metrics.planInfeasible()
-		} else {
-			s.cfg.Trace.Record(trace.PlanChosen, "", "%s: T=%v C=%v over %d jobs",
-				s.cfg.Policy, plan.TotalTime, plan.TotalCost, len(plan.Choices))
-			s.metrics.planChosen(plan.TotalTime, plan.TotalCost, len(plan.Choices))
-			for _, ch := range plan.Choices {
-				if err := s.grid.Commit(ch.Window); err != nil {
-					return nil, fmt.Errorf("metasched: committing %s: %w", ch.Job.Name, err)
-				}
-				s.cfg.Trace.Record(trace.Committed, ch.Job.Name, "%v", ch.Window)
-				placedNames[ch.Job.Name] = true
-				s.placed[ch.Job.Name] = ch.Job
-				sub := s.findQueued(ch.Job.Name)
-				if sub == nil {
-					return nil, fmt.Errorf("metasched: placed job %q is not in the queue", ch.Job.Name)
-				}
-				wait := ch.Window.Start().Sub(sub.submitTick)
-				s.metrics.jobPlaced(wait)
-				rep.Placed = append(rep.Placed, Scheduled{
-					Job:       ch.Job,
-					Window:    &dp.Choice{Job: ch.Job, Window: ch.Window},
-					Iteration: s.iter,
-					WaitTime:  wait,
-				})
-			}
-			rep.PlanTime = plan.TotalTime
-			rep.PlanCost = plan.TotalCost
-		}
-	}
-
-	// Requeue or drop the rest.
-	var remaining []*queued
-	for _, q := range s.queue {
-		if placedNames[q.job.Name] {
-			continue
-		}
-		attempted := false
-		for _, sel := range selected {
-			if sel.job.Name == q.job.Name {
-				attempted = true
-				break
-			}
-		}
-		if attempted {
-			q.postponed++
-			if s.cfg.MaxPostponements > 0 && q.postponed >= s.cfg.MaxPostponements {
-				rep.Dropped = append(rep.Dropped, q.job.Name)
-				s.droppedJobs[q.job.Name] = "postponements"
-				s.cfg.Trace.Record(trace.Dropped, q.job.Name, "after %d postponements", q.postponed)
-				s.metrics.jobDropped()
-				continue
-			}
-			rep.Postponed = append(rep.Postponed, q.job.Name)
-			s.cfg.Trace.Record(trace.Postponed, q.job.Name, "postponement %d", q.postponed)
-			s.metrics.jobPostponed()
-		}
-		remaining = append(remaining, q)
-	}
-	s.queue = remaining
-	return rep, s.grid.Advance(s.grid.Now().Add(s.cfg.Step))
+	return it.Finish()
 }
 
 // findQueued returns the queue entry for name, or nil when no such job is

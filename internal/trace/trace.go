@@ -47,6 +47,11 @@ const (
 	// raised (and its AMP budget re-derived) after its retry attempts
 	// were exhausted.
 	Relaxed
+	// PlanStale marks a chosen window that could no longer be committed
+	// because the environment changed between planning and applying (a
+	// node failed, an owner reclaimed the interval, or the clock passed
+	// the window's start); the job is postponed instead.
+	PlanStale
 )
 
 // String names the kind.
@@ -74,6 +79,8 @@ func (k Kind) String() string {
 		return "recovered"
 	case Relaxed:
 		return "relaxed"
+	case PlanStale:
+		return "plan-stale"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

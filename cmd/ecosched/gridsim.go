@@ -15,11 +15,12 @@ import (
 // runGridsim drives a multi-iteration metascheduler session on a randomly
 // loaded grid: jobs arrive over time, local owner tasks occupy nodes, and
 // the scheduler places what it can each iteration, postponing the rest.
-// parallelism sets the search worker count and linearScan swaps the bucketed
-// slot index for the linear oracle scan; the resulting schedule is identical
-// for every combination. reg, when non-nil, collects the session's metrics
-// for the caller's -metrics dump.
-func runGridsim(seed uint64, parallelism int, linearScan bool, reg *metrics.Registry) error {
+// parallelism sets the search worker count, linearScan swaps the bucketed
+// slot index for the linear oracle scan, and rebuildVacant swaps the live
+// vacant-slot store for a full per-publication rebuild; the resulting
+// schedule is identical for every combination. reg, when non-nil, collects
+// the session's metrics for the caller's -metrics dump.
+func runGridsim(seed uint64, parallelism int, linearScan, rebuildVacant bool, reg *metrics.Registry) error {
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	var nodes []*resource.Node
@@ -54,6 +55,7 @@ func runGridsim(seed uint64, parallelism int, linearScan bool, reg *metrics.Regi
 		MaxBatch:         4,
 		MaxPostponements: 5,
 		Parallelism:      parallelism,
+		RebuildVacant:    rebuildVacant,
 		Metrics:          reg,
 	}
 	cfg.Search.UseLinearScan = linearScan

@@ -33,14 +33,13 @@ func FindAlternativesFair(algo Algorithm, list *slot.List, batch *job.Batch, opt
 		return nil, fmt.Errorf("alloc: empty batch")
 	}
 
-	working := list.Clone()
 	res := &SearchResult{
 		Algorithm:    algo.Name() + "/fair",
 		Alternatives: make(map[string][]*slot.Window, batch.Len()),
 	}
 	// Probes are read-only between commits, so the incremental index serves
 	// every probe of a round and is updated once per committed window.
-	scan, subtract := newScanner(algo, working, opts)
+	working, scan, subtract := newScanner(algo, list, opts)
 	maxPasses := opts.MaxPasses
 	perJobCap := opts.MaxAlternativesPerJob
 	if opts.FirstOnly {

@@ -106,16 +106,23 @@ func scanRound(scanOne func(*job.Job) speculative, todo []*job.Job, parallelism 
 }
 
 // roundScanner returns the per-job scan the round's workers share: the
-// indexed scan over a freshly built snapshot index by default, or the linear
-// oracle over the raw snapshot. The indexed scan returns byte-identical
-// windows and Stats — in particular SlotsExamined still equals the linear
-// visited-prefix length — so the speculation-consistency argument above
-// carries over unchanged. Workers pass a nil probe: a snapshot index's
-// bucket layout depends on the round structure, so its traversal counts are
-// not comparable across parallelism levels and are simply not recorded here.
-func roundScanner(algo Algorithm, snap *slot.List, opts SearchOptions) func(*job.Job) speculative {
+// indexed scan over the round's snapshot index by default, or the linear
+// oracle over the raw snapshot. rix, when non-nil, is a ready clone of the
+// live working index over snap and is used as-is — the driver clones instead
+// of rebuilding, so rounds cost O(buckets) setup rather than O(n log n); a
+// nil rix (only possible off the maintained-index path) falls back to a
+// fresh build. The indexed scan returns byte-identical windows and Stats —
+// in particular SlotsExamined still equals the linear visited-prefix length —
+// so the speculation-consistency argument above carries over unchanged.
+// Workers pass a nil probe: a snapshot index's bucket layout depends on the
+// round structure (and, for clones, on the maintenance history), so its
+// traversal counts are not comparable across parallelism levels and are
+// simply not recorded here.
+func roundScanner(algo Algorithm, snap *slot.List, rix *slot.Index, opts SearchOptions) func(*job.Job) speculative {
 	if ia, ok := algo.(IndexedAlgorithm); ok && !opts.UseLinearScan {
-		rix := slot.NewIndex(snap, opts.Metrics.indexMetrics())
+		if rix == nil {
+			rix = slot.NewIndex(snap, opts.Metrics.indexMetrics())
+		}
 		return func(j *job.Job) speculative {
 			w, stats, ok := ia.FindWindowIndexed(rix, j, nil)
 			return speculative{w: w, stats: stats, ok: ok}
@@ -147,10 +154,31 @@ func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch,
 		return nil, fmt.Errorf("alloc: empty batch")
 	}
 
-	working := list.Clone()
 	res := &SearchResult{
 		Algorithm:    algo.Name(),
 		Alternatives: make(map[string][]*slot.Window, batch.Len()),
+	}
+
+	// Mirror newScanner's index-lifetime contract: one live index (adopted
+	// from opts.Prebuilt or built once over a clone) owns every subtraction,
+	// and each round's workers scan an O(buckets) clone of it instead of
+	// paying a rebuild. The linear path has no index and mutates a clone
+	// directly.
+	var workingIx *slot.Index
+	var working *slot.List
+	var subtract func(*slot.Window) error
+	if _, indexed := algo.(IndexedAlgorithm); indexed && !opts.UseLinearScan {
+		workingIx = opts.Prebuilt
+		if workingIx != nil {
+			workingIx.SetMetrics(opts.Metrics.indexMetrics())
+		} else {
+			workingIx = slot.NewIndex(list.Clone(), opts.Metrics.indexMetrics())
+		}
+		working = workingIx.List()
+		subtract = workingIx.SubtractWindow
+	} else {
+		working = list.Clone()
+		subtract = working.SubtractWindow
 	}
 
 	maxPasses := opts.MaxPasses
@@ -165,11 +193,13 @@ func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch,
 		if maxPasses > 0 && pass >= maxPasses {
 			break
 		}
-		res.Passes++
-		opts.Metrics.passDone()
 		// The jobs this pass scans, in batch priority order. Within one
 		// pass a job gains at most one alternative, so filtering capped
-		// jobs up front matches the sequential per-job check.
+		// jobs up front matches the sequential per-job check. An empty todo
+		// means every job already holds its cap: the sequential driver
+		// neither runs nor counts that sterile pass, so neither does this
+		// one (the batch is non-empty, so todo can only be empty under a
+		// cap).
 		var todo []*job.Job
 		for _, j := range batch.Jobs() {
 			if perJobCap > 0 && len(res.Alternatives[j.Name]) >= perJobCap {
@@ -177,10 +207,22 @@ func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch,
 			}
 			todo = append(todo, j)
 		}
+		if len(todo) == 0 {
+			break
+		}
+		res.Passes++
+		opts.Metrics.passDone()
 		foundAny := false
 		for len(todo) > 0 {
-			snap := working.Snapshot()
-			specs := scanRound(roundScanner(algo, snap, opts), todo, parallelism)
+			var rix *slot.Index
+			var snap *slot.List
+			if workingIx != nil {
+				rix = workingIx.Clone(nil)
+				snap = rix.List()
+			} else {
+				snap = working.Snapshot()
+			}
+			specs := scanRound(roundScanner(algo, snap, rix, opts), todo, parallelism)
 			// Commit in batch order until a conflict invalidates the
 			// remaining speculation.
 			mutated := false
@@ -199,7 +241,7 @@ func FindAlternativesParallel(algo Algorithm, list *slot.List, batch *job.Batch,
 				if err := sp.w.Validate(); err != nil {
 					return nil, fmt.Errorf("alloc: %s produced invalid window: %w", algo.Name(), err)
 				}
-				if err := working.SubtractWindow(sp.w); err != nil {
+				if err := subtract(sp.w); err != nil {
 					return nil, fmt.Errorf("alloc: subtracting window for %s: %w", j.Name, err)
 				}
 				res.Alternatives[j.Name] = append(res.Alternatives[j.Name], sp.w)

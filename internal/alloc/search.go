@@ -29,6 +29,18 @@ type SearchOptions struct {
 	// differential testing, benchmarking the index against its oracle, and
 	// as an escape hatch, mirroring the dp package's UseDenseDP.
 	UseLinearScan bool
+	// Prebuilt, when non-nil, is a ready-made index the search uses instead
+	// of building one over a clone of the input list — the grid's live
+	// store hands out such clones so the steady-state path never pays a
+	// NewIndex (gridsim.VacantView). The caller transfers ownership: the
+	// search mutates the index (and the list backing it — Remaining aliases
+	// Prebuilt.List()) and the input list argument must be that same list.
+	// Scan results do not depend on the index's bucket layout (the
+	// scan-order contract), so a prebuilt index whose tiling reflects its
+	// maintenance history returns byte-identical windows to a fresh build.
+	// Ignored — the historical clone-and-build path runs — when
+	// UseLinearScan is set or the algorithm has no indexed scan.
+	Prebuilt *slot.Index
 	// Metrics, when non-nil, receives the search's observability counters
 	// (windows found, scan lengths, pass counts, speculative rescans).
 	// Instrumentation never influences which windows are found: all
@@ -47,8 +59,10 @@ type SearchResult struct {
 	// order (earlier passes first). Windows are pairwise disjoint across
 	// the whole map.
 	Alternatives map[string][]*slot.Window
-	// Passes is the number of full passes performed (including the final
-	// empty one that terminated the search).
+	// Passes is the number of full passes performed, including the final
+	// empty one that terminated the search — except when every job had
+	// already reached MaxAlternativesPerJob, in which case the would-be
+	// pass could not scan anything and is neither run nor counted.
 	Passes int
 	// Stats accumulates the per-search counters across all window
 	// searches.
@@ -107,17 +121,19 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 		return nil, fmt.Errorf("alloc: empty batch")
 	}
 
-	working := list.Clone()
 	res := &SearchResult{
 		Algorithm:    algo.Name(),
 		Alternatives: make(map[string][]*slot.Window, batch.Len()),
 	}
 
-	// The index is built once over the working copy and maintained
-	// incrementally through every window subtraction, so later passes pay
-	// bucket-local updates instead of a rebuild. UseLinearScan (or an
-	// algorithm without an indexed scan) falls back to the raw-list oracle.
-	scan, subtract := newScanner(algo, working, opts)
+	// newScanner decides the working list and the index lifetime: a caller-
+	// supplied prebuilt index is adopted as-is (its list IS the working
+	// list), otherwise an index is built once over a clone of the input.
+	// Either way the index is maintained incrementally through every window
+	// subtraction, so later passes pay bucket-local updates, never a
+	// rebuild. UseLinearScan (or an algorithm without an indexed scan)
+	// falls back to the raw-list oracle over a clone.
+	working, scan, subtract := newScanner(algo, list, opts)
 
 	maxPasses := opts.MaxPasses
 	perJobCap := opts.MaxAlternativesPerJob
@@ -130,6 +146,21 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 	for pass := 0; ; pass++ {
 		if maxPasses > 0 && pass >= maxPasses {
 			break
+		}
+		// A pass in which every job already holds its cap of alternatives
+		// would skip every job and find nothing: don't run it, don't count
+		// it.
+		if perJobCap > 0 {
+			capped := true
+			for _, j := range batch.Jobs() {
+				if len(res.Alternatives[j.Name]) < perJobCap {
+					capped = false
+					break
+				}
+			}
+			if capped {
+				break
+			}
 		}
 		res.Passes++
 		opts.Metrics.passDone()
@@ -161,24 +192,39 @@ func FindAlternatives(algo Algorithm, list *slot.List, batch *job.Batch, opts Se
 	return res, nil
 }
 
-// newScanner binds the per-job window scan and the window subtraction of a
-// sequential driver to either the indexed path (default) or the linear
-// oracle. With the index, subtraction goes through the index so its buckets
-// stay consistent with the working list; the probe records traversal work
-// only when metrics are attached, keeping the disabled path allocation-free.
-func newScanner(algo Algorithm, working *slot.List, opts SearchOptions) (
-	scan func(*job.Job) (*slot.Window, Stats, bool), subtract func(*slot.Window) error) {
+// newScanner binds the working list, the per-job window scan, and the window
+// subtraction of a sequential driver to either the indexed path (default) or
+// the linear oracle.
+//
+// Index-lifetime contract: exactly one index serves the whole search, and it
+// owns every mutation of the working list — subtraction goes through it so
+// its buckets stay consistent. Where that index comes from varies: a caller-
+// supplied opts.Prebuilt is adopted (ownership transfer; its List() becomes
+// the working list and is mutated in place), otherwise the input list is
+// cloned and an index built over the clone. The linear path (UseLinearScan,
+// or an algorithm without an indexed scan) has no index at all and mutates a
+// clone directly; a Prebuilt is ignored there, never half-used. The probe
+// records traversal work only when metrics are attached, keeping the
+// disabled path allocation-free.
+func newScanner(algo Algorithm, list *slot.List, opts SearchOptions) (
+	working *slot.List, scan func(*job.Job) (*slot.Window, Stats, bool), subtract func(*slot.Window) error) {
 	ia, indexed := algo.(IndexedAlgorithm)
 	if !indexed || opts.UseLinearScan {
-		return func(j *job.Job) (*slot.Window, Stats, bool) { return algo.FindWindow(working, j) },
-			working.SubtractWindow
+		w := list.Clone()
+		return w, func(j *job.Job) (*slot.Window, Stats, bool) { return algo.FindWindow(w, j) },
+			w.SubtractWindow
 	}
-	ix := slot.NewIndex(working, opts.Metrics.indexMetrics())
+	ix := opts.Prebuilt
+	if ix != nil {
+		ix.SetMetrics(opts.Metrics.indexMetrics())
+	} else {
+		ix = slot.NewIndex(list.Clone(), opts.Metrics.indexMetrics())
+	}
 	var probe *slot.ScanStats
 	if opts.Metrics != nil {
 		probe = &slot.ScanStats{}
 	}
-	return func(j *job.Job) (*slot.Window, Stats, bool) {
+	return ix.List(), func(j *job.Job) (*slot.Window, Stats, bool) {
 		if probe != nil {
 			*probe = slot.ScanStats{}
 		}

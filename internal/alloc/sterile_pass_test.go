@@ -1,0 +1,125 @@
+package alloc
+
+import (
+	"fmt"
+	"testing"
+
+	"ecosched/internal/metrics"
+	"ecosched/internal/slot"
+)
+
+// TestNoSterileFinalPass is the regression test for the capped-search bug:
+// when every job reaches MaxAlternativesPerJob, the search used to run (and
+// count, in Passes and passes_total) one more pass in which the per-job cap
+// check skipped every job — a pass that could not possibly scan anything.
+// With a 3-slot list and 2 jobs each capped at 1 alternative, the first pass
+// caps everybody, so exactly one pass must run. The uncapped search still
+// counts its final empty pass: that one did scan and is how termination is
+// detected.
+func TestNoSterileFinalPass(t *testing.T) {
+	for _, algo := range []Algorithm{ALP{}, AMP{}} {
+		for _, linear := range []bool{false, true} {
+			for _, parallelism := range []int{1, 4} {
+				name := fmt.Sprintf("%s/linear=%t/par=%d", algo.Name(), linear, parallelism)
+				t.Run(name, func(t *testing.T) {
+					reg := metrics.New()
+					opts := SearchOptions{
+						MaxAlternativesPerJob: 1,
+						UseLinearScan:         linear,
+						Metrics:               NewSearchMetrics(reg, algo.Name()),
+					}
+					res, err := FindAlternativesParallel(algo, smallList(), twoJobBatch(), opts, parallelism)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.AllJobsCovered(twoJobBatch()) {
+						t.Fatal("both jobs should reach their cap on an idle list")
+					}
+					if res.Passes != 1 {
+						t.Fatalf("Passes = %d, want 1: the all-capped pass must be neither run nor counted", res.Passes)
+					}
+					want := fmt.Sprintf("alloc/%s/passes_total", algo.Name())
+					if n := reg.Counter(want).Value(); n != 1 {
+						t.Fatalf("%s = %d, want 1", want, n)
+					}
+
+					// Uncapped control: the final empty pass is real scan work
+					// and stays counted.
+					res, err = FindAlternativesParallel(algo, smallList(), twoJobBatch(),
+						SearchOptions{UseLinearScan: linear}, parallelism)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Passes < 2 {
+						t.Fatalf("uncapped Passes = %d, want >= 2 (terminating empty pass included)", res.Passes)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCappedSearchSeqParIdentical pins the sequential and parallel drivers to
+// the same sterile-pass semantics: for a spread of caps the full results —
+// alternatives, pass counts, stats, remaining lists — must stay identical.
+func TestCappedSearchSeqParIdentical(t *testing.T) {
+	for _, algo := range []Algorithm{ALP{}, AMP{}} {
+		for cap := 0; cap <= 3; cap++ {
+			opts := SearchOptions{MaxAlternativesPerJob: cap}
+			seq, err := FindAlternatives(algo, smallList(), twoJobBatch(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := FindAlternativesParallel(algo, smallList(), twoJobBatch(), opts, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Passes != par.Passes {
+				t.Fatalf("%s cap=%d: Passes diverged: seq %d, par %d", algo.Name(), cap, seq.Passes, par.Passes)
+			}
+			if seq.Stats != par.Stats {
+				t.Fatalf("%s cap=%d: Stats diverged: seq %+v, par %+v", algo.Name(), cap, seq.Stats, par.Stats)
+			}
+			if seq.Remaining.String() != par.Remaining.String() {
+				t.Fatalf("%s cap=%d: Remaining diverged", algo.Name(), cap)
+			}
+			if fmt.Sprint(seq.Alternatives) != fmt.Sprint(par.Alternatives) {
+				t.Fatalf("%s cap=%d: Alternatives diverged", algo.Name(), cap)
+			}
+		}
+	}
+}
+
+// TestPrebuiltIndexEquivalence proves a search that adopts a caller-built
+// index (SearchOptions.Prebuilt) returns byte-identical results to the
+// historical clone-and-build path, for both drivers, and that the prebuilt
+// path really skips the rebuild (alloc/<algo>/index/rebuilds_total stays 0).
+func TestPrebuiltIndexEquivalence(t *testing.T) {
+	for _, algo := range []Algorithm{ALP{}, AMP{}} {
+		for _, parallelism := range []int{1, 4} {
+			name := fmt.Sprintf("%s/par=%d", algo.Name(), parallelism)
+			t.Run(name, func(t *testing.T) {
+				base, err := FindAlternativesParallel(algo, smallList(), twoJobBatch(), SearchOptions{}, parallelism)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reg := metrics.New()
+				opts := SearchOptions{Metrics: NewSearchMetrics(reg, algo.Name())}
+				opts.Prebuilt = slot.NewIndex(smallList().Clone(), nil)
+				got, err := FindAlternativesParallel(algo, opts.Prebuilt.List(), twoJobBatch(), opts, parallelism)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Passes != base.Passes || got.Stats != base.Stats ||
+					fmt.Sprint(got.Alternatives) != fmt.Sprint(base.Alternatives) ||
+					got.Remaining.String() != base.Remaining.String() {
+					t.Fatalf("prebuilt search diverged from clone-and-build:\nbase %+v\ngot  %+v", base, got)
+				}
+				rebuilds := fmt.Sprintf("alloc/%s/index/rebuilds_total", algo.Name())
+				if n := reg.Counter(rebuilds).Value(); n != 0 {
+					t.Fatalf("%s = %d, want 0: the prebuilt index must be adopted, not rebuilt", rebuilds, n)
+				}
+			})
+		}
+	}
+}

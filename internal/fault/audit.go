@@ -54,7 +54,9 @@ type Target interface {
 //     into exactly one of re-queue or terminal drop;
 //  5. a failed node holds no live VO reservation;
 //  6. no cancelled reservation is resurrected — in particular, a node
-//     recovery adds no bookings at all.
+//     recovery adds no bookings at all;
+//  7. the grid's live vacant-slot store, when active, is byte-identical to
+//     the full rebuild from the bookings (gridsim.VacantStoreCoherent).
 //
 // Violations accumulate; Check returns an error describing the new ones so
 // a driver can fail fast while tests can also inspect the full list.
@@ -170,6 +172,7 @@ func (a *Audit) Check() error {
 	a.checkConservation()
 	a.checkFailedNodes()
 	a.checkResurrection()
+	a.checkVacancy()
 	if fresh := a.violations[before:]; len(fresh) > 0 {
 		return fmt.Errorf("fault: %d invariant violation(s): %s", len(fresh), strings.Join(fresh, "; "))
 	}
@@ -246,6 +249,18 @@ func (a *Audit) checkFailedNodes() {
 					a.grid.Pool().Node(id).Label(), t.Name, t.Span)
 			}
 		}
+	}
+}
+
+// checkVacancy verifies the incrementally maintained vacant-slot store
+// still equals the full rebuild from the bookings — slot for slot, including
+// index invariants. A grid without an active store (oracle knob on, or no
+// publication yet) passes trivially, so the check costs nothing on the
+// rebuild path while pinning the live path after every fault event and
+// iteration of the chaos soak and the model checker.
+func (a *Audit) checkVacancy() {
+	if err := a.grid.VacantStoreCoherent(); err != nil {
+		a.violate("vacant store diverged from rebuild: %v", err)
 	}
 }
 

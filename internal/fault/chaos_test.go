@@ -25,7 +25,7 @@ const (
 // owner-local load, a retry policy with backoff, degradation ladder and
 // deadline, and 8 submitted jobs — the same scenario family as the
 // metasched differential suite, plus the retry policy.
-func chaosScheduler(t testing.TB, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear bool) *metasched.Scheduler {
+func chaosScheduler(t testing.TB, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear, rebuild bool) *metasched.Scheduler {
 	t.Helper()
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
@@ -59,6 +59,7 @@ func chaosScheduler(t testing.TB, seed uint64, algo alloc.Algorithm, policy meta
 		MaxPostponements: 3,
 		Parallelism:      parallelism,
 		UseDenseDP:       useDense,
+		RebuildVacant:    rebuild,
 		Retry: &metasched.RetryPolicy{
 			MaxAttempts:      2,
 			BackoffBase:      40,
@@ -114,9 +115,9 @@ func chaosPlan(t testing.TB, pool *resource.Pool, seed uint64, rate float64) *fa
 
 // chaosTranscript plays one full fault session and returns its canonical
 // transcript, failing the test on any scheduler error or audit violation.
-func chaosTranscript(t testing.TB, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear bool) string {
+func chaosTranscript(t testing.TB, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear, rebuild bool) string {
 	t.Helper()
-	sched := chaosScheduler(t, seed, algo, policy, parallelism, useDense, useLinear)
+	sched := chaosScheduler(t, seed, algo, policy, parallelism, useDense, useLinear, rebuild)
 	plan := chaosPlan(t, sched.Grid().Pool(), seed, 0.6)
 	var b strings.Builder
 	sess, err := fault.NewSession(sched, plan, &b)
@@ -138,7 +139,10 @@ func chaosTranscript(t testing.TB, seed uint64, algo alloc.Algorithm, policy met
 // audit running after every event and iteration. Per seed and algorithm the
 // transcript must be byte-identical across every engine toggle: dense
 // versus frontier DP, linear versus indexed slot scan, sequential versus
-// parallel search, and all three flipped together.
+// parallel search, live vacant store versus full rebuild, and everything
+// flipped together. The base sessions run on the live store with the audit's
+// checkVacancy comparing it against the rebuild after every event and
+// iteration, so this is the 50-seed byte-identity proof for the store.
 func TestChaosSoak(t *testing.T) {
 	seeds := uint64(50)
 	if testing.Short() {
@@ -156,11 +160,13 @@ func TestChaosSoak(t *testing.T) {
 		parallelism int
 		dense       bool
 		linear      bool
+		rebuild     bool
 	}{
-		{"dense", 1, true, false},
-		{"linear", 1, false, true},
-		{"parallel", 4, false, false},
-		{"dense+linear+parallel", 4, true, true},
+		{"dense", 1, true, false, false},
+		{"linear", 1, false, true, false},
+		{"parallel", 4, false, false, false},
+		{"rebuild", 1, false, false, true},
+		{"dense+linear+parallel+rebuild", 4, true, true, true},
 	}
 	for seed := uint64(1); seed <= seeds; seed++ {
 		policy := metasched.MinimizeTime
@@ -168,12 +174,12 @@ func TestChaosSoak(t *testing.T) {
 			policy = metasched.MinimizeCost
 		}
 		for _, a := range algos {
-			base := chaosTranscript(t, seed, a.algo, policy, 1, false, false)
+			base := chaosTranscript(t, seed, a.algo, policy, 1, false, false, false)
 			if !strings.Contains(base, "fault ") {
 				t.Fatalf("seed %d %s: chaos session injected no faults — the soak is not soaking", seed, a.name)
 			}
 			for _, v := range variants {
-				got := chaosTranscript(t, seed, a.algo, policy, v.parallelism, v.dense, v.linear)
+				got := chaosTranscript(t, seed, a.algo, policy, v.parallelism, v.dense, v.linear, v.rebuild)
 				if got != base {
 					t.Fatalf("seed %d %s %v: %s transcript diverged from base\n--- base ---\n%s\n--- %s ---\n%s",
 						seed, a.name, policy, v.name, base, v.name, got)
@@ -195,7 +201,7 @@ func TestEmptyPlanNeutrality(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		for _, algo := range []alloc.Algorithm{alloc.ALP{}, alloc.AMP{}} {
 			// Baseline: plain scheduler loop, no fault layer.
-			sched := chaosScheduler(t, seed, algo, metasched.MinimizeTime, 1, false, false)
+			sched := chaosScheduler(t, seed, algo, metasched.MinimizeTime, 1, false, false, false)
 			var base strings.Builder
 			for i := 0; i < chaosIterations; i++ {
 				rep, err := sched.RunIteration()
@@ -207,7 +213,7 @@ func TestEmptyPlanNeutrality(t *testing.T) {
 			fault.WriteSummary(&base, sched, 0, 0)
 
 			for _, plan := range []*fault.Plan{nil, empty} {
-				sched := chaosScheduler(t, seed, algo, metasched.MinimizeTime, 1, false, false)
+				sched := chaosScheduler(t, seed, algo, metasched.MinimizeTime, 1, false, false, false)
 				var b strings.Builder
 				sess, err := fault.NewSession(sched, plan, &b)
 				if err != nil {
@@ -228,7 +234,7 @@ func TestEmptyPlanNeutrality(t *testing.T) {
 // TestSessionRejectsUnknownNodes checks plan/pool validation at session
 // construction.
 func TestSessionRejectsUnknownNodes(t *testing.T) {
-	sched := chaosScheduler(t, 1, alloc.ALP{}, metasched.MinimizeTime, 1, false, false)
+	sched := chaosScheduler(t, 1, alloc.ALP{}, metasched.MinimizeTime, 1, false, false, false)
 	plan, err := fault.ParsePlan("fail@100:ghost")
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,11 @@ func (g *Grid) FailNode(id resource.NodeID, at sim.Time) ([]Task, error) {
 		return nil, nil
 	}
 	g.failed[id] = at
+	// The failure mark is set before any booking changes: the store drops
+	// the node's slots wholesale here, and the cancellation removals below
+	// then skip their per-booking restores (storeUnbook is a no-op on a
+	// failed node).
+	g.storeFail(node)
 
 	var cancelled []Task
 	kept := g.booked[id][:0]
@@ -66,19 +71,29 @@ func (g *Grid) FailedNodes() []resource.NodeID {
 // and returns the cancelled tasks. A parallel job whose window lost one
 // placement (e.g. to a node failure) must release its surviving placements
 // too — tasks start synchronously, so a partial window is worthless.
+//
+// Reservations are removed one at a time, with the store restore applied
+// after each removal, so the restore's neighbor derivation always runs
+// against a booking list the store is coherent with — required when a job
+// holds adjacent reservations on one node. The map iteration order is as
+// immaterial as it always was: the final booked state, and therefore the
+// final store state, depends only on the set removed.
 func (g *Grid) CancelJob(name string) []Task {
 	var out []Task
 	for id, list := range g.booked {
-		kept := list[:0]
-		for _, t := range list {
+		node := g.pool.Node(id)
+		for i := 0; i < len(list); {
+			t := list[i]
 			if !t.Local && t.Name == name {
 				out = append(out, t)
-				g.income[g.pool.Node(t.Node).Domain] -= t.charged
+				g.income[node.Domain] -= t.charged
+				list = append(list[:i], list[i+1:]...)
+				g.booked[id] = list
+				g.storeUnbook(node, t.Span)
 				continue
 			}
-			kept = append(kept, t)
+			i++
 		}
-		g.booked[id] = kept
 	}
 	g.metrics.jobCancelled(len(out))
 	return out
@@ -97,6 +112,7 @@ func (g *Grid) RecoverNode(id resource.NodeID) error {
 		return nil
 	}
 	delete(g.failed, id)
+	g.storeRecover(g.pool.Node(id))
 	g.metrics.recovered()
 	return nil
 }
@@ -128,17 +144,22 @@ func (g *Grid) RevokeInterval(id resource.NodeID, span sim.Interval) ([]Task, er
 		return nil, nil
 	}
 
+	// Cancel overlapping reservations one at a time (see CancelJob for why
+	// the store restore must interleave with the removals).
 	var cancelled []Task
-	kept := g.booked[id][:0]
-	for _, t := range g.booked[id] {
+	list := g.booked[id]
+	for i := 0; i < len(list); {
+		t := list[i]
 		if !t.Local && t.Span.Overlaps(span) {
 			cancelled = append(cancelled, t)
 			g.income[node.Domain] -= t.charged
+			list = append(list[:i], list[i+1:]...)
+			g.booked[id] = list
+			g.storeUnbook(node, t.Span)
 			continue
 		}
-		kept = append(kept, t)
+		i++
 	}
-	g.booked[id] = kept
 
 	// Reclaim the span for the owner: book local tasks over every part of
 	// it not already covered by a surviving booking, so the revoked window

@@ -53,6 +53,13 @@ type Grid struct {
 	income map[string]sim.Money
 	// metrics, when non-nil, observes environment churn (see SetMetrics).
 	metrics *Metrics
+	// store is the live vacant-slot store (see store.go), lazily built by
+	// the first publication and maintained in place by every mutation; nil
+	// until then or when rebuildVacant forces the oracle path.
+	store *vacantStore
+	// rebuildVacant routes VacantSlots/VacantView through the full-rebuild
+	// oracle instead of the live store (see SetRebuildVacant).
+	rebuildVacant bool
 }
 
 // New creates an idle grid over the pool.
@@ -107,6 +114,7 @@ func (g *Grid) Book(t Task) error {
 	copy(list[i+1:], list[i:])
 	list[i] = t
 	g.booked[t.Node] = list
+	g.storeBook(node, list, i)
 	return nil
 }
 
@@ -139,35 +147,20 @@ func (g *Grid) AllTasks() []Task {
 // VacantSlots publishes the local schedules as an ordered slot list over
 // [Now, horizon): for each node, the complement of its bookings, sorted by
 // start time across nodes — exactly the structure of Fig. 1a / Fig. 2a.
+//
+// By default the list is an O(1) copy-on-write snapshot of the live store
+// (store.go), kept byte-identical to the rebuild by the mutation hooks; under
+// the RebuildVacant knob every call re-derives it from the bookings instead.
 func (g *Grid) VacantSlots(horizon sim.Time) (*slot.List, error) {
 	if horizon <= g.now {
 		return nil, fmt.Errorf("gridsim: horizon %v not after current time %v", horizon, g.now)
 	}
-	var slots []slot.Slot
-	for _, n := range g.pool.Nodes() {
-		if g.NodeFailed(n.ID) {
-			continue
-		}
-		cursor := g.now
-		for _, t := range g.booked[n.ID] {
-			if t.Span.End <= cursor {
-				continue
-			}
-			if t.Span.Start >= horizon {
-				break
-			}
-			if t.Span.Start > cursor {
-				slots = append(slots, slot.New(n, cursor, t.Span.Start.Min(horizon)))
-			}
-			if t.Span.End > cursor {
-				cursor = t.Span.End
-			}
-		}
-		if cursor < horizon {
-			slots = append(slots, slot.New(n, cursor, horizon))
-		}
+	if g.rebuildVacant {
+		return g.RebuildVacantSlots(horizon)
 	}
-	return slot.NewList(slots), nil
+	g.ensureStore(horizon)
+	g.metrics.storeSnapshot()
+	return g.store.ix.List().Snapshot(), nil
 }
 
 // Commit books every placement of a chosen window as a VO reservation named
@@ -203,6 +196,7 @@ func (g *Grid) remove(t Task) {
 	for i, b := range list {
 		if b.Name == t.Name && b.Span == t.Span && b.Local == t.Local {
 			g.booked[t.Node] = append(list[:i], list[i+1:]...)
+			g.storeUnbook(g.pool.Node(t.Node), t.Span)
 			return
 		}
 	}
@@ -225,6 +219,7 @@ func (g *Grid) Advance(to sim.Time) error {
 		}
 		g.booked[id] = kept
 	}
+	g.storeAdvance(to)
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package gridsim
 
-import "ecosched/internal/metrics"
+import (
+	"ecosched/internal/metrics"
+	"ecosched/internal/slot"
+)
 
 // Metrics holds the pre-resolved instruments of the grid environment:
 // owner-local load injected, commit/cancellation churn, and failures. Attach
@@ -27,6 +30,29 @@ type Metrics struct {
 	NodeRecoveries      *metrics.Counter
 	Revocations         *metrics.Counter
 	RevokedReservations *metrics.Counter
+	// The gridsim/store/ family instruments the live vacant-slot store
+	// (store.go). StoreRebuilds counts full builds — exactly one on the
+	// steady-state path (the lazy initial build); StoreSnapshots counts
+	// O(1) publications served from it. The churn counters split the
+	// incremental maintenance by cause: punches (bookings subtracted),
+	// restores (cancellations merged back), node drops/restores (failure
+	// and recovery), trims (clock advances) and extends (horizon growth).
+	// StoreIncoherentDrops counts self-healing resets after an
+	// exact-identity miss — zero on every production path, pinned by the
+	// equivalence suites. StoreSlots tracks the store size after each
+	// operation, and StoreIndex aggregates the underlying slot.Index
+	// maintenance under gridsim/store/index/.
+	StoreRebuilds        *metrics.Counter
+	StoreSnapshots       *metrics.Counter
+	StorePunches         *metrics.Counter
+	StoreRestores        *metrics.Counter
+	StoreNodeDrops       *metrics.Counter
+	StoreNodeRestores    *metrics.Counter
+	StoreTrims           *metrics.Counter
+	StoreExtends         *metrics.Counter
+	StoreIncoherentDrops *metrics.Counter
+	StoreSlots           *metrics.Gauge
+	StoreIndex           *slot.IndexMetrics
 }
 
 // NewMetrics resolves the grid instruments under the "gridsim/" prefix. A
@@ -45,11 +71,29 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		NodeRecoveries:        r.Counter("gridsim/fault/node_recoveries_total"),
 		Revocations:           r.Counter("gridsim/fault/revocations_total"),
 		RevokedReservations:   r.Counter("gridsim/fault/revoked_reservations_total"),
+		StoreRebuilds:         r.Counter("gridsim/store/rebuilds_total"),
+		StoreSnapshots:        r.Counter("gridsim/store/snapshots_total"),
+		StorePunches:          r.Counter("gridsim/store/punches_total"),
+		StoreRestores:         r.Counter("gridsim/store/restores_total"),
+		StoreNodeDrops:        r.Counter("gridsim/store/node_drops_total"),
+		StoreNodeRestores:     r.Counter("gridsim/store/node_restores_total"),
+		StoreTrims:            r.Counter("gridsim/store/trims_total"),
+		StoreExtends:          r.Counter("gridsim/store/extends_total"),
+		StoreIncoherentDrops:  r.Counter("gridsim/store/incoherent_drops_total"),
+		StoreSlots:            r.Gauge("gridsim/store/slots"),
+		StoreIndex:            slot.NewIndexMetrics(r, "gridsim/store/index/"),
 	}
 }
 
-// SetMetrics attaches (or, with nil, detaches) the grid's instruments.
-func (g *Grid) SetMetrics(m *Metrics) { g.metrics = m }
+// SetMetrics attaches (or, with nil, detaches) the grid's instruments. An
+// already-built live store is re-targeted at the new registry's index
+// instruments.
+func (g *Grid) SetMetrics(m *Metrics) {
+	g.metrics = m
+	if g.store != nil {
+		g.store.ix.SetMetrics(m.storeIndexMetrics())
+	}
+}
 
 func (m *Metrics) localBooked() {
 	if m == nil {
@@ -102,4 +146,83 @@ func (m *Metrics) revoked(cancelled int) {
 	m.Revocations.Inc()
 	m.RevokedReservations.Add(int64(cancelled))
 	m.ReservationsCancelled.Add(int64(cancelled))
+}
+
+// storeIndexMetrics returns the live store's index instruments (nil when
+// metrics are detached).
+func (m *Metrics) storeIndexMetrics() *slot.IndexMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.StoreIndex
+}
+
+func (m *Metrics) storeRebuilt(slots int) {
+	if m == nil {
+		return
+	}
+	m.StoreRebuilds.Inc()
+	m.StoreSlots.Set(int64(slots))
+}
+
+func (m *Metrics) storeSnapshot() {
+	if m == nil {
+		return
+	}
+	m.StoreSnapshots.Inc()
+}
+
+func (m *Metrics) storePunched(slots int) {
+	if m == nil {
+		return
+	}
+	m.StorePunches.Inc()
+	m.StoreSlots.Set(int64(slots))
+}
+
+func (m *Metrics) storeRestored(slots int) {
+	if m == nil {
+		return
+	}
+	m.StoreRestores.Inc()
+	m.StoreSlots.Set(int64(slots))
+}
+
+func (m *Metrics) storeNodeDropped(slots int) {
+	if m == nil {
+		return
+	}
+	m.StoreNodeDrops.Inc()
+	m.StoreSlots.Set(int64(slots))
+}
+
+func (m *Metrics) storeNodeRestored(slots int) {
+	if m == nil {
+		return
+	}
+	m.StoreNodeRestores.Inc()
+	m.StoreSlots.Set(int64(slots))
+}
+
+func (m *Metrics) storeTrimmed(slots int) {
+	if m == nil {
+		return
+	}
+	m.StoreTrims.Inc()
+	m.StoreSlots.Set(int64(slots))
+}
+
+func (m *Metrics) storeExtended(slots int) {
+	if m == nil {
+		return
+	}
+	m.StoreExtends.Inc()
+	m.StoreSlots.Set(int64(slots))
+}
+
+func (m *Metrics) storeIncoherent() {
+	if m == nil {
+		return
+	}
+	m.StoreIncoherentDrops.Inc()
 }

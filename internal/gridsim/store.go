@@ -1,0 +1,373 @@
+package gridsim
+
+import (
+	"fmt"
+	"sort"
+
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// This file implements the grid's live vacant-slot store: a persistent
+// slot.List + slot.Index over [Now, horizon) that every state transition
+// maintains incrementally, so publishing vacancy (VacantSlots / VacantView)
+// is an O(1) copy-on-write snapshot instead of an O(nodes·tasks) rebuild.
+//
+// Ownership and coherence. The store is a derived cache of (booked, failed,
+// now): it holds, per live node, exactly the maximal complement intervals of
+// the node's bookings clipped to [now, horizon). Every mutation hook below
+// derives the affected slots' exact identities from the booking neighbors —
+// O(log n) binary searches, never a rescan — and applies them through the
+// index so bucket bookkeeping stays consistent. Because the canonical slot
+// order (start, node, end) is a strict total order over well-formed vacant
+// lists, incremental maintenance lands every slot at exactly the rank the
+// full-rebuild oracle's stable sort would, and the store stays byte-identical
+// to RebuildVacantSlots — the equivalence the chaos soak, the model checker,
+// and fault.Audit's per-transition VacantStoreCoherent check all pin.
+//
+// Lifecycle. The store builds lazily on the first publication (the single
+// NewIndex on the steady-state path, counted in gridsim/store/rebuilds_total),
+// extends per-node when the horizon slides forward, trims when the clock
+// advances, and self-heals by dropping itself if an exact-identity operation
+// ever misses (counted in incoherent_drops_total; the equivalence suites
+// assert it stays zero). SetRebuildVacant(true) disables it entirely,
+// re-routing every publication through the pinned rebuild oracle.
+type vacantStore struct {
+	ix *slot.Index
+	// horizon is the exclusive right edge the store currently covers.
+	horizon sim.Time
+}
+
+// SetRebuildVacant toggles the oracle path: when on, VacantSlots and
+// VacantView rebuild the vacant list (and any index over it) from the
+// bookings on every call — the historical behavior — and the live store is
+// released. Results are byte-identical either way; the knob exists for
+// differential testing, benchmarking the live store against its oracle, and
+// as an escape hatch (mirroring alloc's UseLinearScan and dp's UseDenseDP).
+func (g *Grid) SetRebuildVacant(on bool) {
+	g.rebuildVacant = on
+	if on {
+		g.store = nil
+	}
+}
+
+// RebuildVacantEnabled reports whether the oracle path is forced.
+func (g *Grid) RebuildVacantEnabled() bool { return g.rebuildVacant }
+
+// vacantFragments returns the node's maximal vacant intervals over [from, to)
+// — the complement of its bookings — in start order. Both the rebuild oracle
+// and the store's node-restore/horizon-extend paths derive fragments through
+// this one walk, so they cannot disagree on boundary conventions.
+func (g *Grid) vacantFragments(n *resource.Node, from, to sim.Time) []slot.Slot {
+	var out []slot.Slot
+	cursor := from
+	for _, t := range g.booked[n.ID] {
+		if t.Span.End <= cursor {
+			continue
+		}
+		if t.Span.Start >= to {
+			break
+		}
+		if t.Span.Start > cursor {
+			out = append(out, slot.New(n, cursor, t.Span.Start.Min(to)))
+		}
+		if t.Span.End > cursor {
+			cursor = t.Span.End
+		}
+	}
+	if cursor < to {
+		out = append(out, slot.New(n, cursor, to))
+	}
+	return out
+}
+
+// ensureStore makes the live store cover exactly [now, horizon): building it
+// on first use, extending it when the horizon slid forward, and rebuilding it
+// when the caller asked for a shorter horizon (not a steady-state shape — the
+// metascheduler's horizon only ever slides forward).
+func (g *Grid) ensureStore(horizon sim.Time) {
+	if g.store != nil {
+		switch {
+		case g.store.horizon == horizon:
+			return
+		case horizon > g.store.horizon:
+			g.storeExtend(horizon)
+		default:
+			g.store = nil
+		}
+	}
+	if g.store == nil {
+		g.buildStore(horizon)
+	}
+}
+
+// buildStore constructs the store from scratch at the given horizon — the
+// only place the live path pays a full rebuild.
+func (g *Grid) buildStore(horizon sim.Time) {
+	var slots []slot.Slot
+	for _, n := range g.pool.Nodes() {
+		if g.NodeFailed(n.ID) {
+			continue
+		}
+		slots = append(slots, g.vacantFragments(n, g.now, horizon)...)
+	}
+	ix := slot.NewIndexSize(slot.NewList(slots), slot.DefaultBucketSize, g.metrics.storeIndexMetrics())
+	g.store = &vacantStore{ix: ix, horizon: horizon}
+	g.metrics.storeRebuilt(ix.Len())
+}
+
+// dropStore releases an incoherent store so the next publication rebuilds it.
+// This is the self-healing path behind the exact-identity operations: it can
+// only trigger after the store diverged from the bookings (e.g. a corruption
+// hook like ForceBook bypassed the mutation hooks), and the equivalence
+// suites assert the counter stays zero on every production path.
+func (g *Grid) dropStore() {
+	g.store = nil
+	g.metrics.storeIncoherent()
+}
+
+// storeBook subtracts a just-booked task's span from the store. list is the
+// node's booking list with the task already inserted at position i; the
+// containing maximal vacant interval is bounded by the neighbors (clipped to
+// [now, horizon)), which identifies the store slot to punch exactly.
+func (g *Grid) storeBook(node *resource.Node, list []Task, i int) {
+	st := g.store
+	if st == nil || g.NodeFailed(node.ID) {
+		return
+	}
+	t := list[i]
+	clip := t.Span.Intersect(sim.Interval{Start: g.now, End: st.horizon})
+	if clip.Empty() {
+		return
+	}
+	lo, hi := g.now, st.horizon
+	if i > 0 && list[i-1].Span.End > lo {
+		lo = list[i-1].Span.End
+	}
+	if i+1 < len(list) && list[i+1].Span.Start < hi {
+		hi = list[i+1].Span.Start
+	}
+	target := slot.Slot{Node: node, Price: node.Price, Span: sim.Interval{Start: lo, End: hi}}
+	if err := st.ix.SubtractInterval(target, clip); err != nil {
+		g.dropStore()
+		return
+	}
+	g.metrics.storePunched(st.ix.Len())
+}
+
+// storeUnbook restores a just-removed booking's span to the store, merging
+// with the (exactly known) adjacent fragments so the result is again the
+// maximal vacant interval between the surviving neighbors. Callers must
+// remove bookings one at a time — remove a task from g.booked, then call
+// storeUnbook, then the next — so the neighbor derivation always runs against
+// a booking list the store is coherent with.
+func (g *Grid) storeUnbook(node *resource.Node, span sim.Interval) {
+	st := g.store
+	if st == nil || g.NodeFailed(node.ID) {
+		return
+	}
+	clip := span.Intersect(sim.Interval{Start: g.now, End: st.horizon})
+	if clip.Empty() {
+		return
+	}
+	list := g.booked[node.ID]
+	i := sort.Search(len(list), func(k int) bool { return list[k].Span.Start >= span.Start })
+	lo, hi := g.now, st.horizon
+	if i > 0 && list[i-1].Span.End > lo {
+		lo = list[i-1].Span.End
+	}
+	if i < len(list) && list[i].Span.Start < hi {
+		hi = list[i].Span.Start
+	}
+	left := sim.Interval{Start: lo, End: clip.Start}
+	right := sim.Interval{Start: clip.End, End: hi}
+	if !left.Empty() && !st.ix.RemoveExact(slot.Slot{Node: node, Price: node.Price, Span: left}) {
+		g.dropStore()
+		return
+	}
+	if !right.Empty() && !st.ix.RemoveExact(slot.Slot{Node: node, Price: node.Price, Span: right}) {
+		g.dropStore()
+		return
+	}
+	st.ix.Insert(slot.Slot{Node: node, Price: node.Price, Span: sim.Interval{Start: lo, End: hi}})
+	g.metrics.storeRestored(st.ix.Len())
+}
+
+// storeFail drops every store slot of a node that just failed. The failure
+// mark must already be set, so the cancellation removals that follow skip
+// their storeUnbook restores.
+func (g *Grid) storeFail(node *resource.Node) {
+	st := g.store
+	if st == nil {
+		return
+	}
+	st.ix.DropNode(node)
+	g.metrics.storeNodeDropped(st.ix.Len())
+}
+
+// storeRecover re-derives a just-recovered node's vacancy from its bookings
+// and inserts the fragments. Fragments are maximal by construction, and the
+// node contributed no slots while failed, so no merging is needed.
+func (g *Grid) storeRecover(node *resource.Node) {
+	st := g.store
+	if st == nil {
+		return
+	}
+	for _, f := range g.vacantFragments(node, g.now, st.horizon) {
+		st.ix.Insert(f)
+	}
+	g.metrics.storeNodeRestored(st.ix.Len())
+}
+
+// storeAdvance trims the store to the new clock. A clock at or past the
+// horizon leaves nothing to keep; the store is released and rebuilds on the
+// next publication (the metascheduler's Step < Horizon never hits this).
+func (g *Grid) storeAdvance(to sim.Time) {
+	st := g.store
+	if st == nil {
+		return
+	}
+	if to >= st.horizon {
+		g.store = nil
+		return
+	}
+	st.ix.TrimBefore(to)
+	g.metrics.storeTrimmed(st.ix.Len())
+}
+
+// storeExtend grows the store's coverage from its current horizon to the new
+// one: per live node, the fragments over the newly visible window are derived
+// from the bookings (an O(log n) search finds the walk's start) and inserted.
+// A fragment opening exactly at the old horizon continues a vacancy run that
+// was clipped there, so the trailing store slot is removed and the merged
+// maximal interval inserted instead — exactly what the oracle emits over the
+// wider window.
+func (g *Grid) storeExtend(horizon sim.Time) {
+	st := g.store
+	old := st.horizon
+	st.horizon = horizon
+	for _, n := range g.pool.Nodes() {
+		if g.NodeFailed(n.ID) {
+			continue
+		}
+		list := g.booked[n.ID]
+		i := sort.Search(len(list), func(k int) bool { return list[k].Span.Start >= old })
+		cursor := old
+		var frags []slot.Slot
+		for k := i - 1; k < len(list); k++ {
+			if k < 0 {
+				continue
+			}
+			t := list[k]
+			if t.Span.End <= cursor {
+				continue
+			}
+			if t.Span.Start >= horizon {
+				break
+			}
+			if t.Span.Start > cursor {
+				frags = append(frags, slot.New(n, cursor, t.Span.Start.Min(horizon)))
+			}
+			if t.Span.End > cursor {
+				cursor = t.Span.End
+			}
+		}
+		if cursor < horizon {
+			frags = append(frags, slot.New(n, cursor, horizon))
+		}
+		if len(frags) > 0 && frags[0].Span.Start == old {
+			// The node was either vacant right up to the old horizon (a
+			// trailing slot ends there — merge with it) or a booking ended
+			// exactly at it (no trailing slot; the fragment stands alone).
+			if !(i > 0 && list[i-1].Span.End >= old) {
+				trailStart := g.now
+				if i > 0 && list[i-1].Span.End > trailStart {
+					trailStart = list[i-1].Span.End
+				}
+				trail := slot.Slot{Node: n, Price: n.Price, Span: sim.Interval{Start: trailStart, End: old}}
+				if !st.ix.RemoveExact(trail) {
+					g.dropStore()
+					return
+				}
+				frags[0].Span.Start = trailStart
+			}
+		}
+		for _, f := range frags {
+			st.ix.Insert(f)
+		}
+	}
+	g.metrics.storeExtended(st.ix.Len())
+}
+
+// RebuildVacantSlots is the pinned oracle: it derives the full vacant list
+// from the bookings — for each live node, the complement intervals over
+// [Now, horizon), sorted into canonical order — exactly as VacantSlots always
+// had. The live store must match it byte for byte at all times; the
+// equivalence suites and fault.Audit enforce that.
+func (g *Grid) RebuildVacantSlots(horizon sim.Time) (*slot.List, error) {
+	if horizon <= g.now {
+		return nil, fmt.Errorf("gridsim: horizon %v not after current time %v", horizon, g.now)
+	}
+	var slots []slot.Slot
+	for _, n := range g.pool.Nodes() {
+		if g.NodeFailed(n.ID) {
+			continue
+		}
+		slots = append(slots, g.vacantFragments(n, g.now, horizon)...)
+	}
+	return slot.NewList(slots), nil
+}
+
+// VacantView publishes the vacancy over [Now, horizon) as both an ordered
+// list and a search-ready index over the same snapshot. On the live path the
+// index is an O(n)-copy clone of the store's — no walk, no sort, no re-tiling
+// — and the caller owns it outright: the alternative search subtracts found
+// windows from it directly (alloc.SearchOptions.Prebuilt) without ever
+// touching the store. Under the RebuildVacant knob the index is nil and the
+// list is a fresh oracle rebuild; callers fall back to building their own
+// index, which is exactly the historical code path.
+func (g *Grid) VacantView(horizon sim.Time) (*slot.List, *slot.Index, error) {
+	if horizon <= g.now {
+		return nil, nil, fmt.Errorf("gridsim: horizon %v not after current time %v", horizon, g.now)
+	}
+	if g.rebuildVacant {
+		l, err := g.RebuildVacantSlots(horizon)
+		return l, nil, err
+	}
+	g.ensureStore(horizon)
+	ix := g.store.ix.Clone(nil)
+	g.metrics.storeSnapshot()
+	return ix.List(), ix, nil
+}
+
+// VacantStoreCoherent verifies the live store against the rebuild oracle and
+// the index's bucket invariants; nil when the store is inactive. fault.Audit
+// runs it after every event and iteration, which is what proves the
+// incremental maintenance byte-identical to the rebuild across the chaos soak
+// and the model checker's bounded state space.
+func (g *Grid) VacantStoreCoherent() error {
+	st := g.store
+	if st == nil {
+		return nil
+	}
+	if err := st.ix.CheckInvariants(); err != nil {
+		return fmt.Errorf("gridsim: live store index: %w", err)
+	}
+	oracle, err := g.RebuildVacantSlots(st.horizon)
+	if err != nil {
+		return fmt.Errorf("gridsim: live store horizon stale: %w", err)
+	}
+	live := st.ix.List()
+	if live.Len() != oracle.Len() {
+		return fmt.Errorf("gridsim: live store has %d slots, oracle rebuild has %d (horizon %v)",
+			live.Len(), oracle.Len(), st.horizon)
+	}
+	for i := 0; i < live.Len(); i++ {
+		if live.At(i) != oracle.At(i) {
+			return fmt.Errorf("gridsim: live store diverged at rank %d: have %v, oracle says %v (horizon %v)",
+				i, live.At(i), oracle.At(i), st.horizon)
+		}
+	}
+	return nil
+}

@@ -31,7 +31,7 @@ import (
 //
 // reg, when non-nil, attaches the observability registry to the session —
 // the transcript must not change (the metrics-neutrality contract).
-func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear bool, reg *metrics.Registry) string {
+func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear, rebuild bool, reg *metrics.Registry) string {
 	t.Helper()
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
@@ -64,6 +64,7 @@ func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, poli
 		MaxPostponements: 3,
 		Parallelism:      parallelism,
 		UseDenseDP:       useDense,
+		RebuildVacant:    rebuild,
 		Metrics:          reg,
 	}
 	cfg.Search.UseLinearScan = useLinear
@@ -137,9 +138,9 @@ func TestParallelismDifferential(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		for _, a := range algos {
 			for _, policy := range policies {
-				want := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, nil)
+				want := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, false, nil)
 				for _, parallelism := range []int{4, 8} {
-					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, false, nil)
+					got := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, false, false, nil)
 					if got != want {
 						t.Fatalf("seed %d %s %v: parallelism=%d transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
 							seed, a.name, policy, parallelism, want, got)
@@ -172,8 +173,8 @@ func TestIndexedLinearDifferential(t *testing.T) {
 		for _, a := range algos {
 			for _, policy := range policies {
 				for _, parallelism := range []int{1, 4} {
-					linear := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, true, nil)
-					indexed := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, false, nil)
+					linear := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, true, false, nil)
+					indexed := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, false, false, nil)
 					if linear != indexed {
 						t.Fatalf("seed %d %s %v p=%d: indexed transcript diverged from linear oracle\n--- linear ---\n%s\n--- indexed ---\n%s",
 							seed, a.name, policy, parallelism, linear, indexed)
@@ -202,13 +203,74 @@ func TestFrontierDenseDifferential(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		for _, a := range algos {
 			for _, policy := range policies {
-				dense := diffSessionTranscript(t, seed, a.algo, policy, 1, true, false, nil)
-				frontier := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, nil)
+				dense := diffSessionTranscript(t, seed, a.algo, policy, 1, true, false, false, nil)
+				frontier := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, false, nil)
 				if dense != frontier {
 					t.Fatalf("seed %d %s %v: frontier transcript diverged from dense oracle\n--- dense ---\n%s\n--- frontier ---\n%s",
 						seed, a.name, policy, dense, frontier)
 				}
 			}
+		}
+	}
+}
+
+// TestLiveStoreRebuildDifferential drives full metascheduler sessions over 20
+// seeded random scenarios — both algorithms, both batch policies, indexed and
+// linear scans, sequential and parallel search — and asserts the live
+// vacant-slot store produces a byte-identical session transcript to the
+// RebuildVacant oracle that re-derives every publication from the bookings:
+// same committed windows, same plan times and costs, same postponements,
+// drops, and failure recovery.
+func TestLiveStoreRebuildDifferential(t *testing.T) {
+	algos := []struct {
+		name string
+		algo alloc.Algorithm
+	}{
+		{"ALP", alloc.ALP{}},
+		{"AMP", alloc.AMP{}},
+	}
+	policies := []metasched.Policy{metasched.MinimizeTime, metasched.MinimizeCost}
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, a := range algos {
+			for _, policy := range policies {
+				for _, useLinear := range []bool{false, true} {
+					for _, parallelism := range []int{1, 4} {
+						rebuilt := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, useLinear, true, nil)
+						live := diffSessionTranscript(t, seed, a.algo, policy, parallelism, false, useLinear, false, nil)
+						if live != rebuilt {
+							t.Fatalf("seed %d %s %v linear=%t p=%d: live-store transcript diverged from rebuild oracle\n--- rebuild ---\n%s\n--- live ---\n%s",
+								seed, a.name, policy, useLinear, parallelism, rebuilt, live)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLiveStoreSteadyStateNoRebuilds pins the tentpole's performance contract
+// on a real session: on the live path the store is built exactly once (the
+// lazy first publication), every later iteration applies the committed
+// windows and the sliding horizon as deltas, the search adopts the prebuilt
+// index instead of rebuilding its own, and the self-healing reset never
+// fires. Seed 7 avoids demand pricing (seeds divisible by 3), which is the
+// documented prebuilt fall-back.
+func TestLiveStoreSteadyStateNoRebuilds(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		reg := metrics.New()
+		diffSessionTranscript(t, 7, alloc.AMP{}, metasched.MinimizeTime, parallelism, false, false, false, reg)
+		snap := reg.Snapshot()
+		if n := snap.Counter("gridsim/store/rebuilds_total"); n != 1 {
+			t.Errorf("parallelism %d: gridsim/store/rebuilds_total = %d, want exactly 1", parallelism, n)
+		}
+		if n := snap.Counter("gridsim/store/incoherent_drops_total"); n != 0 {
+			t.Errorf("parallelism %d: gridsim/store/incoherent_drops_total = %d, want 0", parallelism, n)
+		}
+		if n := snap.Counter("alloc/AMP/index/rebuilds_total"); n != 0 {
+			t.Errorf("parallelism %d: alloc/AMP/index/rebuilds_total = %d, want 0: the search must adopt the store's index", parallelism, n)
+		}
+		if n := snap.Counter("gridsim/store/snapshots_total"); n == 0 {
+			t.Errorf("parallelism %d: no store snapshots recorded — the live path did not serve the session", parallelism)
 		}
 	}
 }

@@ -95,6 +95,14 @@ type Config struct {
 	// across iterations: before each publication, fresh owner-local tasks
 	// are booked into the part of the horizon that became newly visible.
 	LocalArrivals *LocalArrivals
+	// RebuildVacant routes every publication through the grid's
+	// full-rebuild oracle (gridsim.RebuildVacantSlots) instead of the live
+	// vacant-slot store, and disables the prebuilt search index that rides
+	// on it. The two paths are byte-identical — the equivalence suites and
+	// the fault auditor pin this — so the knob exists for differential
+	// testing, benchmarking the store against its oracle, and as an escape
+	// hatch, mirroring UseDenseDP and Search.UseLinearScan.
+	RebuildVacant bool
 	// Retry, when non-nil, governs what a cancelled job does after a node
 	// failure or slot revocation: bounded attempts with deterministic
 	// exponential backoff, a price-cap degradation ladder, and terminal
@@ -261,6 +269,7 @@ func New(cfg Config, grid *gridsim.Grid) (*Scheduler, error) {
 		firstSubmit: make(map[string]sim.Time),
 		droppedJobs: make(map[string]string),
 	}
+	grid.SetRebuildVacant(cfg.RebuildVacant)
 	s.metrics = newSchedMetrics(cfg.Metrics)
 	if cfg.Metrics != nil {
 		if s.cfg.Search.Metrics == nil {

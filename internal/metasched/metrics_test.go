@@ -27,8 +27,8 @@ func TestMetricsDoNotPerturbScheduling(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		for _, a := range algos {
 			for _, policy := range policies {
-				off := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, nil)
-				on := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, metrics.New())
+				off := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, false, nil)
+				on := diffSessionTranscript(t, seed, a.algo, policy, 1, false, false, false, metrics.New())
 				if on != off {
 					t.Fatalf("seed %d %s %v: transcript changed with metrics attached\n--- metrics off ---\n%s\n--- metrics on ---\n%s",
 						seed, a.name, policy, off, on)
@@ -47,9 +47,9 @@ func TestMetricsSnapshotDeterministic(t *testing.T) {
 	for _, seed := range []uint64{7, 12, 15, 20} {
 		for _, parallelism := range []int{1, 4} {
 			r1 := metrics.New()
-			diffSessionTranscript(t, seed, alloc.AMP{}, metasched.MinimizeTime, parallelism, false, false, r1)
+			diffSessionTranscript(t, seed, alloc.AMP{}, metasched.MinimizeTime, parallelism, false, false, false, r1)
 			r2 := metrics.New()
-			diffSessionTranscript(t, seed, alloc.AMP{}, metasched.MinimizeTime, parallelism, false, false, r2)
+			diffSessionTranscript(t, seed, alloc.AMP{}, metasched.MinimizeTime, parallelism, false, false, false, r2)
 			s1, s2 := r1.Snapshot().Text(), r2.Snapshot().Text()
 			if s1 != s2 {
 				t.Fatalf("seed %d parallelism %d: identical sessions produced different snapshots\n--- first ---\n%s\n--- second ---\n%s",
@@ -78,7 +78,7 @@ func TestMetricsSnapshotDeterministic(t *testing.T) {
 // registry must equal what the IterationReports record.
 func TestMetricsCrossCheckSession(t *testing.T) {
 	reg := metrics.New()
-	transcript := diffSessionTranscript(t, 7, alloc.AMP{}, metasched.MinimizeTime, 1, false, false, reg)
+	transcript := diffSessionTranscript(t, 7, alloc.AMP{}, metasched.MinimizeTime, 1, false, false, false, reg)
 	snap := reg.Snapshot()
 	iters := snap.Counter("metasched/iterations_total")
 	if iters <= 0 {

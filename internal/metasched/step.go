@@ -95,7 +95,11 @@ func (it *Iteration) Plan() error {
 	if err != nil {
 		return err
 	}
-	vacant, err := s.grid.VacantSlots(horizon)
+	// VacantView hands out the publication plus, on the live-store path, a
+	// prebuilt index clone the search adopts instead of rebuilding one —
+	// the committed windows of the previous iteration already landed in the
+	// store as deltas, so the steady-state path never pays a NewIndex.
+	vacant, prebuilt, err := s.grid.VacantView(horizon)
 	if err != nil {
 		return err
 	}
@@ -104,10 +108,15 @@ func (it *Iteration) Plan() error {
 		it.rep.PriceFactor = float64(factor)
 		vacant = vacant.Reprice(func(sl slot.Slot) sim.Money { return sl.Price * factor })
 		s.cfg.Trace.Record(trace.Repriced, "", "utilization factor %.3f over %d slots", float64(factor), vacant.Len())
+		// Repricing derived a fresh list the index does not describe; fall
+		// back to the search's own build for this iteration.
+		prebuilt = nil
 	}
 	s.metrics.published(vacant.Len())
 	s.cfg.Trace.Record(trace.SearchStarted, "", "%s over %d slots for %d jobs", s.cfg.Algorithm.Name(), vacant.Len(), batch.Len())
-	search, err := alloc.FindAlternativesParallel(s.cfg.Algorithm, vacant, batch, s.cfg.Search, s.cfg.Parallelism)
+	searchOpts := s.cfg.Search
+	searchOpts.Prebuilt = prebuilt
+	search, err := alloc.FindAlternativesParallel(s.cfg.Algorithm, vacant, batch, searchOpts, s.cfg.Parallelism)
 	if err != nil {
 		return err
 	}

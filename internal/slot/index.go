@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"ecosched/internal/resource"
 	"ecosched/internal/sim"
 )
 
@@ -534,3 +535,133 @@ func (ix *Index) CheckInvariants() error {
 
 // Buckets returns the current bucket count (for tests and gauges).
 func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// SetMetrics attaches (or, with nil, detaches) the index's maintenance
+// instruments. A long-lived index can be handed between owners — the grid's
+// live store clones it for each search — and each owner re-targets the clone
+// at its own prefix without rebuilding anything.
+func (ix *Index) SetMetrics(m *IndexMetrics) { ix.m = m }
+
+// Clone returns an independent copy of the index without re-sorting or
+// re-tiling: the backing list is shared copy-on-write (Snapshot), and the
+// bucket bookkeeping — counts, aggregates, performance permutations — is
+// copied as-is, so the clone answers the exact same scans as the original.
+// Either side may mutate afterwards without affecting the other. m is the
+// clone's metrics sink (nil disables instrumentation); cloning itself records
+// nothing, in particular no rebuild.
+func (ix *Index) Clone(m *IndexMetrics) *Index {
+	c := &Index{list: ix.list.Snapshot(), target: ix.target, m: m}
+	c.buckets = make([]bucket, len(ix.buckets))
+	copy(c.buckets, ix.buckets)
+	for i := range c.buckets {
+		bp := make([]int32, len(ix.buckets[i].byPerf))
+		copy(bp, ix.buckets[i].byPerf)
+		c.buckets[i].byPerf = bp
+	}
+	return c
+}
+
+// RemoveExact deletes the slot equal to s (same node, same span), reporting
+// whether it was present. This is the node-restore/boundary-merge primitive:
+// callers that know a slot's exact identity (the grid's live store derives it
+// from the booking neighbors) remove it in O(log n) instead of scanning.
+func (ix *Index) RemoveExact(s Slot) bool {
+	i := ix.list.indexOf(s)
+	if i < 0 {
+		return false
+	}
+	ix.RemoveAt(i)
+	return true
+}
+
+// DropNode removes every slot on the node, returning how many were dropped.
+// Node failure is the one event that invalidates slots by identity rather
+// than by span, so this walks the whole list once — failures are rare enough
+// that the O(n) sweep beats carrying a per-node structure everywhere else.
+func (ix *Index) DropNode(node *resource.Node) int {
+	removed := 0
+	for i := ix.list.Len() - 1; i >= 0; i-- {
+		if ix.list.slots[i].Node == node {
+			ix.RemoveAt(i)
+			removed++
+		}
+	}
+	return removed
+}
+
+// TrimBefore advances the index's left edge to t: slots ending at or before
+// t are dropped, slots straddling t are re-anchored to start at t, and slots
+// starting at or after t are untouched. It returns the dropped and trimmed
+// counts.
+//
+// This is the clock-advance operation of the grid's live store, so it is
+// deliberately a bulk rewrite rather than per-slot RemoveAt/Insert calls: the
+// affected prefix (everything starting before t, plus the existing start==t
+// run the re-anchored slots merge into) is rebuilt once and re-tiled into
+// target-size buckets, one O(n) array move total instead of one per slot.
+// The resulting order is canonical by construction — every surviving prefix
+// slot starts exactly at t, so (node, end) ordering within the merged front
+// block reproduces what a full NewList sort would produce.
+func (ix *Index) TrimBefore(t sim.Time) (dropped, trimmed int) {
+	p := ix.RankAtOrAfter(t)
+	if p == 0 {
+		return 0, 0
+	}
+	r2 := ix.RankAtOrAfter(t + 1) // end of the existing start==t run
+	front := make([]Slot, 0, r2-p+8)
+	for _, s := range ix.list.slots[:p] {
+		if s.End() > t {
+			s.Span.Start = t
+			front = append(front, s)
+			trimmed++
+		} else {
+			dropped++
+		}
+	}
+	front = append(front, ix.list.slots[p:r2]...)
+	// All front slots start at t; a strict (node, end) order is total because
+	// a well-formed vacant list never holds two same-node slots alive at t.
+	sort.Slice(front, func(i, j int) bool { return less(front[i], front[j]) })
+	merged := make([]Slot, 0, len(front)+ix.list.Len()-r2)
+	merged = append(merged, front...)
+	merged = append(merged, ix.list.slots[r2:]...)
+	// The fresh backing array is sole-owned by construction; outstanding
+	// snapshots keep reading the old one.
+	ix.list.slots = merged
+	ix.list.shared = false
+	ix.retilePrefix(r2, len(front))
+	ix.m.removed(dropped)
+	return dropped, trimmed
+}
+
+// retilePrefix replaces the leading buckets that covered the first oldCovered
+// ranks with a fresh target-size tiling of the first newCovered ranks, after
+// the caller rewrote that region of the backing list. A bucket straddling the
+// oldCovered boundary is consumed whole and its surviving tail re-tiled with
+// the new front. Buckets past the region keep their bookkeeping untouched.
+func (ix *Index) retilePrefix(oldCovered, newCovered int) {
+	nb, covered := 0, 0
+	for nb < len(ix.buckets) && covered < oldCovered {
+		covered += ix.buckets[nb].count
+		nb++
+	}
+	newCovered += covered - oldCovered
+	tail := ix.buckets[nb:]
+	fresh := make([]bucket, 0, newCovered/ix.target+1+len(tail))
+	for base := 0; base < newCovered; base += ix.target {
+		count := ix.target
+		if base+count > newCovered {
+			count = newCovered - base
+		}
+		fresh = append(fresh, bucket{count: count})
+	}
+	nfresh := len(fresh)
+	fresh = append(fresh, tail...)
+	ix.buckets = fresh
+	base := 0
+	for i := 0; i < nfresh; i++ {
+		ix.refresh(&ix.buckets[i], base)
+		base += ix.buckets[i].count
+	}
+	ix.m.resized(ix.buckets)
+}

@@ -7,15 +7,19 @@ import (
 )
 
 // FuzzSlotIndex drives raw fuzz bytes as an operation stream — insert,
-// remove, subtract, query — against an Index and the naive slice model,
-// asserting after every mutation that the indexed list matches the model
-// element for element, the bucket invariants hold (tiling, sortedness,
-// aggregate freshness, permutation membership — so no stale entries survive
-// a subtraction), and Scan agrees with a filtered walk of the model.
+// remove, subtract, trim, node drop, exact removal, clone, query — against an
+// Index and the naive slice model, asserting after every mutation that the
+// indexed list matches the model element for element, the bucket invariants
+// hold (tiling, sortedness, aggregate freshness, permutation membership — so
+// no stale entries survive a subtraction), and Scan agrees with a filtered
+// walk of the model. The trim/drop/exact/clone ops are the live vacant-store
+// maintenance surface (gridsim/store.go); fuzzing them against the model is
+// what licenses the store to mutate the index in place between iterations.
 func FuzzSlotIndex(f *testing.F) {
 	f.Add(uint8(2), []byte{0, 10, 0, 200, 1, 30, 7, 0, 8, 2, 5, 1})
 	f.Add(uint8(0), []byte{0, 1, 0, 2, 0, 3, 0, 4, 6, 0, 7, 1, 9, 9})
 	f.Add(uint8(63), []byte{0, 255, 0, 254, 0, 3, 5, 0, 8, 128})
+	f.Add(uint8(7), []byte{0, 9, 0, 77, 0, 130, 13, 40, 0, 5, 15, 2, 17, 1, 19, 0})
 
 	f.Fuzz(func(t *testing.T, targetRaw uint8, ops []byte) {
 		target := 1 + int(targetRaw)%64
@@ -58,6 +62,69 @@ func FuzzSlotIndex(f *testing.F) {
 				left := s
 				left.Span = sim.Interval{Start: s.Start(), End: used.Start}
 				model = model.insert(left)
+			case op < 15: // trim everything before a cut point
+				cut := sim.Time(int64(arg) * 5 % 400)
+				wantDropped, wantTrimmed := 0, 0
+				var nm listModel
+				for _, s := range model {
+					switch {
+					case s.End() <= cut:
+						wantDropped++
+					case s.Start() < cut:
+						wantTrimmed++
+						s.Span.Start = cut
+						nm = nm.insert(s)
+					default:
+						nm = nm.insert(s)
+					}
+				}
+				model = nm
+				if dropped, trimmed := ix.TrimBefore(cut); dropped != wantDropped || trimmed != wantTrimmed {
+					t.Fatalf("op %d: TrimBefore(%v) = (%d, %d), model says (%d, %d)",
+						i, cut, dropped, trimmed, wantDropped, wantTrimmed)
+				}
+			case op < 17: // drop one node's slots wholesale
+				n := nodes[int(arg)%len(nodes)]
+				want := 0
+				var nm listModel
+				for _, s := range model {
+					if s.Node == n {
+						want++
+						continue
+					}
+					nm = nm.insert(s)
+				}
+				model = nm
+				if got := ix.DropNode(n); got != want {
+					t.Fatalf("op %d: DropNode(%s) = %d, model says %d", i, n.Name, got, want)
+				}
+			case op < 19 && ix.Len() > 0: // remove one slot by exact identity
+				r := int(arg) % ix.Len()
+				s := ix.At(r)
+				if !ix.RemoveExact(s) {
+					t.Fatalf("op %d: RemoveExact(%v) missed a slot taken from the index itself", i, s)
+				}
+				// Duplicates are value-identical, so removing the first match
+				// and removing rank r leave the same multiset in the same
+				// order.
+				model = model.removeAt(r)
+			case op < 20: // clone: copy-on-write isolation under divergence
+				c := ix.Clone(nil)
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: clone: %v", i, err)
+				}
+				if !model.equalTo(c.List()) {
+					t.Fatalf("op %d: clone diverged from model before any mutation", i)
+				}
+				if c.Len() > 0 {
+					c.RemoveAt(int(arg) % c.Len())
+					if err := c.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: mutated clone: %v", i, err)
+					}
+					if !model.equalTo(ix.List()) {
+						t.Fatalf("op %d: mutating a clone changed the original", i)
+					}
+				}
 			default: // query
 				f := Filter{MinPerf: float64(int(arg) % 5)}
 				if arg%2 == 1 {
@@ -95,4 +162,155 @@ func FuzzSlotIndex(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestIndexMutationSurfaceModel is the deterministic twin of FuzzSlotIndex:
+// the fuzz target only replays its seed corpus under plain `go test`, so this
+// property test drives the full Index mutation surface — including the live
+// vacant-store maintenance ops TrimBefore, DropNode, RemoveExact and Clone —
+// through long seeded random interleavings against the naive slice model on
+// every run.
+func TestIndexMutationSurfaceModel(t *testing.T) {
+	nodes := propNodes(6)
+	for seed := uint64(1); seed <= 30; seed++ {
+		rng := sim.NewRNG(seed)
+		target := 1 + rng.IntN(48)
+		ix := NewIndexSize(NewList(nil), target, nil)
+		model := listModel{}
+		for step := 0; step < 200; step++ {
+			switch op := rng.IntN(20); {
+			case op < 8:
+				s := randomSlot(rng, nodes)
+				ix.Insert(s)
+				model = model.insert(s)
+			case op < 10 && ix.Len() > 0:
+				r := rng.IntN(ix.Len())
+				ix.RemoveAt(r)
+				model = model.removeAt(r)
+			case op < 12 && ix.Len() > 0:
+				s := ix.At(rng.IntN(ix.Len()))
+				mid := s.Start().Add(sim.Duration(rng.IntN(int(s.Length()) + 1)))
+				if err := ix.SubtractInterval(s, sim.Interval{Start: mid, End: s.End()}); err != nil {
+					t.Fatalf("seed %d step %d: subtract: %v", seed, step, err)
+				}
+				at := 0
+				for at < len(model) && model[at] != s {
+					at++
+				}
+				model = model.removeAt(at)
+				left := s
+				left.Span = sim.Interval{Start: s.Start(), End: mid}
+				model = model.insert(left)
+			case op < 14:
+				cut := sim.Time(rng.IntN(600))
+				wantDropped, wantTrimmed := 0, 0
+				var nm listModel
+				for _, s := range model {
+					switch {
+					case s.End() <= cut:
+						wantDropped++
+					case s.Start() < cut:
+						wantTrimmed++
+						s.Span.Start = cut
+						nm = nm.insert(s)
+					default:
+						nm = nm.insert(s)
+					}
+				}
+				model = nm
+				if dropped, trimmed := ix.TrimBefore(cut); dropped != wantDropped || trimmed != wantTrimmed {
+					t.Fatalf("seed %d step %d: TrimBefore(%v) = (%d, %d), model says (%d, %d)",
+						seed, step, cut, dropped, trimmed, wantDropped, wantTrimmed)
+				}
+			case op < 16:
+				n := nodes[rng.IntN(len(nodes))]
+				want := 0
+				var nm listModel
+				for _, s := range model {
+					if s.Node == n {
+						want++
+						continue
+					}
+					nm = nm.insert(s)
+				}
+				model = nm
+				if got := ix.DropNode(n); got != want {
+					t.Fatalf("seed %d step %d: DropNode(%s) = %d, model says %d", seed, step, n.Name, got, want)
+				}
+			case op < 18 && ix.Len() > 0:
+				r := rng.IntN(ix.Len())
+				s := ix.At(r)
+				if !ix.RemoveExact(s) {
+					t.Fatalf("seed %d step %d: RemoveExact(%v) missed a slot taken from the index", seed, step, s)
+				}
+				model = model.removeAt(r)
+			case op < 19:
+				c := ix.Clone(nil)
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d step %d: clone: %v", seed, step, err)
+				}
+				if !model.equalTo(c.List()) {
+					t.Fatalf("seed %d step %d: clone diverged from model", seed, step)
+				}
+				if c.Len() > 0 {
+					c.RemoveAt(rng.IntN(c.Len()))
+					if !model.equalTo(ix.List()) {
+						t.Fatalf("seed %d step %d: mutating a clone changed the original", seed, step)
+					}
+				}
+			default:
+				f := Filter{MinPerf: float64(rng.IntN(5))}
+				if rng.Bool(0.5) {
+					f.PriceCap = true
+					f.MaxPrice = sim.Money(1 + rng.IntN(4))
+				}
+				limit := ix.Len()
+				if rng.Bool(0.3) {
+					limit = rng.IntN(ix.Len() + 1)
+				}
+				if got, want := collectScan(ix, f, limit), modelScan(model, f, limit); !ranksEqual(got, want) {
+					t.Fatalf("seed %d step %d: Scan(%+v, %d) = %v, model says %v", seed, step, f, limit, got, want)
+				}
+				continue
+			}
+			if err := ix.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if !model.equalTo(ix.List()) {
+				t.Fatalf("seed %d step %d: indexed list diverged from model\nlist:  %v\nmodel: %v",
+					seed, step, ix.List().Slots(), []Slot(model))
+			}
+		}
+	}
+}
+
+// TestIndexRemoveExactMiss pins the false branch: a slot value that is not in
+// the index (wrong span, wrong node, or an emptied index) must return false
+// and leave the contents untouched.
+func TestIndexRemoveExactMiss(t *testing.T) {
+	nodes := propNodes(2)
+	ix := NewIndexSize(NewList(nil), 4, nil)
+	s := New(nodes[0], 10, 40)
+	ix.Insert(s)
+
+	shifted := New(nodes[0], 11, 40)
+	if ix.RemoveExact(shifted) {
+		t.Fatal("RemoveExact matched a slot with a different span")
+	}
+	other := New(nodes[1], 10, 40)
+	if ix.RemoveExact(other) {
+		t.Fatal("RemoveExact matched a slot on a different node")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("misses mutated the index: Len = %d, want 1", ix.Len())
+	}
+	if !ix.RemoveExact(s) {
+		t.Fatal("RemoveExact missed the genuine slot")
+	}
+	if ix.RemoveExact(s) {
+		t.Fatal("RemoveExact matched in an emptied index")
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -84,6 +84,14 @@ func (m *IndexMetrics) remove() {
 	m.Removes.Inc()
 }
 
+// removed records a bulk removal of n slots (TrimBefore's dropped prefix).
+func (m *IndexMetrics) removed(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.Removes.Add(int64(n))
+}
+
 func (m *IndexMetrics) split() {
 	if m == nil {
 		return

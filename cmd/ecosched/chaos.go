@@ -29,7 +29,7 @@ const (
 // revoke@450:cpu5:500-700"); empty generates a seeded random plan. The
 // invariant auditor runs after every event and iteration; the command fails
 // on the first violation.
-func runChaos(seed uint64, faultsSpec string, parallelism int, linearScan, rebuildVacant bool, reg *metrics.Registry) error {
+func runChaos(seed uint64, faultsSpec string, parallelism, shards int, linearScan, rebuildVacant bool, reg *metrics.Registry) error {
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	var nodes []*resource.Node
@@ -62,6 +62,7 @@ func runChaos(seed uint64, faultsSpec string, parallelism int, linearScan, rebui
 		MaxBatch:         4,
 		MaxPostponements: 5,
 		Parallelism:      parallelism,
+		Shards:           shards,
 		RebuildVacant:    rebuildVacant,
 		Metrics:          reg,
 		Retry: &metasched.RetryPolicy{

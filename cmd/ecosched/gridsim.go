@@ -18,9 +18,11 @@ import (
 // parallelism sets the search worker count, linearScan swaps the bucketed
 // slot index for the linear oracle scan, and rebuildVacant swaps the live
 // vacant-slot store for a full per-publication rebuild; the resulting
-// schedule is identical for every combination. reg, when non-nil, collects
-// the session's metrics for the caller's -metrics dump.
-func runGridsim(seed uint64, parallelism int, linearScan, rebuildVacant bool, reg *metrics.Registry) error {
+// schedule is identical for every combination. shards federates the grid
+// into that many sharded domains with cross-shard combination — again with a
+// byte-identical schedule. reg, when non-nil, collects the session's metrics
+// for the caller's -metrics dump.
+func runGridsim(seed uint64, parallelism, shards int, linearScan, rebuildVacant bool, reg *metrics.Registry) error {
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	var nodes []*resource.Node
@@ -55,6 +57,7 @@ func runGridsim(seed uint64, parallelism int, linearScan, rebuildVacant bool, re
 		MaxBatch:         4,
 		MaxPostponements: 5,
 		Parallelism:      parallelism,
+		Shards:           shards,
 		RebuildVacant:    rebuildVacant,
 		Metrics:          reg,
 	}

@@ -53,10 +53,11 @@ func run(args []string) error {
 	series := fs.Int("series", 300, "kept experiments in the Fig. 5 series")
 	file := fs.String("file", "", "scenario file for export/replay (\"-\" = stdout)")
 	parallelism := fs.Int("parallelism", 1, "worker goroutines for the alternative search (schedules are identical for every value)")
+	shards := fs.Int("shards", 1, "federate the grid into K sharded domains with cross-shard combination (schedules are identical for every value)")
 	linearScan := fs.Bool("linear-scan", false, "use the linear oracle scan instead of the bucketed slot index (results are identical for either)")
 	rebuildVacant := fs.Bool("rebuild-vacant", false, "rebuild the vacant-slot list from the bookings on every publication instead of maintaining the live store (results are identical for either)")
 	faults := fs.String("faults", "", "fault plan for the chaos scenario, e.g. \"fail@300:cpu3;recover@600:cpu3;revoke@450:cpu5:500-700\" (empty = seeded random plan)")
-	universe := fs.String("universe", "default", "model-checker universe: tiny (2 nodes, 2 jobs) or default (3 nodes, 3 jobs)")
+	universe := fs.String("universe", "default", "model-checker universe: tiny (2 nodes, 2 jobs), default (3 nodes, 3 jobs), or 2shard (default federated into two shards)")
 	depth := fs.Int("depth", 8, "model-checker interleaving depth bound")
 	states := fs.Int("states", 200000, "model-checker distinct-state bound")
 	mutation := fs.String("mutation", "none", "model-checker seeded bug: none, double-refund, resurrect (the sweep must catch it)")
@@ -84,7 +85,7 @@ func run(args []string) error {
 	if cmd == "mc" {
 		return runMC(*universe, *depth, *states, *mutation, *cexPath, *liveness)
 	}
-	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *faults, *parallelism, *rebuildVacant, reg); err != nil {
+	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *faults, *parallelism, *shards, *rebuildVacant, reg); err != nil {
 		return err
 	}
 	if reg != nil {
@@ -95,7 +96,7 @@ func run(args []string) error {
 
 // dispatch runs one subcommand; the caller dumps the metrics snapshot (if
 // requested) after it returns, so every subcommand gets -metrics for free.
-func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file, faults string, parallelism int, rebuildVacant bool, reg *metrics.Registry) error {
+func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file, faults string, parallelism, shards int, rebuildVacant bool, reg *metrics.Registry) error {
 	switch cmd {
 	case "example":
 		return runExample()
@@ -222,9 +223,9 @@ func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations i
 	case "pareto":
 		return runPareto(seed)
 	case "gridsim":
-		return runGridsim(seed, parallelism, cfg.Search.UseLinearScan, rebuildVacant, reg)
+		return runGridsim(seed, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, reg)
 	case "chaos":
-		return runChaos(seed, faults, parallelism, cfg.Search.UseLinearScan, rebuildVacant, reg)
+		return runChaos(seed, faults, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, reg)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -285,12 +286,13 @@ subcommands:
   mc        bounded exhaustive model checker for the schedule/commit protocol
 
 flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism N
+                        -shards K     (federate the grid into K sharded domains; identical results)
                         -metrics PATH (snapshot after the run; "-" = stdout, .json = JSON)
                         -pprof ADDR   (serve net/http/pprof while running)
                         -linear-scan  (linear oracle scan instead of the slot index; identical results)
                         -rebuild-vacant (full vacancy rebuild per publication instead of the live store; identical results)
                         -faults PLAN  (chaos fault plan, e.g. "fail@300:cpu3;recover@600:cpu3")
-mc flags:               -universe tiny|default -depth N -states N -liveness
+mc flags:               -universe tiny|default|2shard -depth N -states N -liveness
                         -mutation none|double-refund|resurrect -cex PATH
 `)
 }

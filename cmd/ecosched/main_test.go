@@ -39,8 +39,11 @@ func TestSubcommandsRun(t *testing.T) {
 		{"scaling"},
 		{"pareto"},
 		{"gridsim"},
+		{"gridsim", "-shards", "3"},
 		{"chaos"},
 		{"chaos", "-faults", "fail@300:cpu3;recover@600:cpu3;revoke@450:cpu5:500-700"},
+		{"chaos", "-shards", "2"},
+		{"mc", "-universe", "2shard", "-depth", "4", "-states", "2000"},
 		{"help"},
 	}
 	for _, args := range cases {
@@ -83,6 +86,20 @@ func TestMetricsFlagWritesSnapshot(t *testing.T) {
 	}
 	if string(data) != string(data2) {
 		t.Errorf("identical runs wrote different snapshots\n--- first ---\n%s\n--- second ---\n%s", data, data2)
+	}
+
+	sharded := filepath.Join(dir, "sharded.txt")
+	if err := run([]string{"gridsim", "-shards", "2", "-metrics", sharded}); err != nil {
+		t.Fatalf("gridsim -shards 2 -metrics: %v", err)
+	}
+	sdata, err := os.ReadFile(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"shard/count", "shard/scan_critical_path_total", "gridsim/store/shard0/rebuilds_total"} {
+		if !containsStr(string(sdata), frag) {
+			t.Errorf("sharded snapshot missing %q:\n%s", frag, sdata)
+		}
 	}
 
 	jsonPath := filepath.Join(dir, "m.json")

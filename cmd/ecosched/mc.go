@@ -20,8 +20,10 @@ func runMC(universe string, depth, states int, mutation, cexPath string, livenes
 		u = mc.Tiny()
 	case "", "default":
 		u = mc.Default()
+	case "2shard":
+		u = mc.TwoShard()
 	default:
-		return fmt.Errorf("unknown universe %q (want tiny or default)", universe)
+		return fmt.Errorf("unknown universe %q (want tiny, default or 2shard)", universe)
 	}
 	mut, err := mc.ParseMutation(mutation)
 	if err != nil {

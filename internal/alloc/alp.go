@@ -84,46 +84,9 @@ func (ALP) FindWindowLinear(list *slot.List, j *job.Job) (*slot.Window, Stats, b
 // index's bucket prefilter, so slots failing either are never visited. The
 // accepted-slot sequence is exactly the linear scan's, and the Stats
 // counters are reconstructed from the stopping rank (see finishScanStats),
-// so the result is byte-identical to FindWindowLinear for every input.
-func (ALP) FindWindowIndexed(ix *slot.Index, j *job.Job, probe *slot.ScanStats) (*slot.Window, Stats, bool) {
-	var stats Stats
-	if err := validateInput(ix.List(), j); err != nil {
-		return nil, stats, false
-	}
-	req := j.Request
-	limit, n := scanLimit(ix, req)
-	f := slot.Filter{MinPerf: req.MinPerformance, MaxPrice: req.MaxPrice, PriceCap: true}
-
-	active := make([]candidate, 0, req.Nodes)
-	accepted := 0
-	var win *slot.Window
-	ix.Scan(f, limit, probe, func(rank int, s slot.Slot) bool {
-		if !suitsBeyondPerformance(s, req) {
-			return true
-		}
-		accepted++
-		// seq mirrors the linear scan's SlotsExamined at acceptance: rank+1.
-		c := newCandidate(s, req, rank+1)
-		tLast := s.Start()
-		kept := active[:0]
-		for _, a := range active {
-			if a.deadline >= tLast {
-				kept = append(kept, a)
-			} else {
-				stats.CandidatesEvicted++
-			}
-		}
-		active = append(kept, c)
-		if len(active) == req.Nodes {
-			win = buildWindow(j.Name, tLast, active)
-			finishScanStats(&stats, req, limit, n, rank, accepted, true)
-			return false
-		}
-		return true
-	})
-	if win != nil {
-		return win, stats, true
-	}
-	finishScanStats(&stats, req, limit, n, 0, accepted, false)
-	return nil, stats, false
+// so the result is byte-identical to FindWindowLinear for every input. The
+// scan body — filter, suitability, and the alpScan fold — lives in stream.go,
+// shared with the sharded cross-shard merge driver.
+func (a ALP) FindWindowIndexed(ix *slot.Index, j *job.Job, probe *slot.ScanStats) (*slot.Window, Stats, bool) {
+	return findWindowIndexedStream(a, ix, j, probe)
 }

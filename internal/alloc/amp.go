@@ -117,41 +117,11 @@ func (a AMP) FindWindowLinear(list *slot.List, j *job.Job) (*slot.Window, Stats,
 // accepted-candidate sequence — and therefore every eviction, budget check,
 // and the returned window — matches FindWindowLinear's, and the Stats
 // counters are reconstructed from the stopping rank (finishScanStats), so
-// the result is byte-identical for every input.
+// the result is byte-identical for every input. The scan body — filter,
+// suitability, and the ampScan fold — lives in stream.go, shared with the
+// sharded cross-shard merge driver.
 func (a AMP) FindWindowIndexed(ix *slot.Index, j *job.Job, probe *slot.ScanStats) (*slot.Window, Stats, bool) {
-	var stats Stats
-	if err := validateInput(ix.List(), j); err != nil {
-		return nil, stats, false
-	}
-	req := j.Request
-	budget := req.Budget()
-	limit, n := scanLimit(ix, req)
-	f := slot.Filter{MinPerf: req.MinPerformance}
-
-	alive := make(map[int]candidate) // seq -> candidate
-	var byDeadline deadlineHeap
-	cheapest := newTopK(req.Nodes)
-	accepted := 0
-	var win *slot.Window
-	ix.Scan(f, limit, probe, func(rank int, s slot.Slot) bool {
-		if !suitsBeyondPerformance(s, req) {
-			return true
-		}
-		accepted++
-		// seq mirrors the linear scan's SlotsExamined at acceptance: rank+1.
-		c := newCandidate(s, req, rank+1)
-		if w, ok := a.accept(c, req, budget, alive, &byDeadline, cheapest, &stats); ok {
-			win = buildWindow(j.Name, c.s.Start(), w)
-			finishScanStats(&stats, req, limit, n, rank, accepted, true)
-			return false
-		}
-		return true
-	})
-	if win != nil {
-		return win, stats, true
-	}
-	finishScanStats(&stats, req, limit, n, 0, accepted, false)
-	return nil, stats, false
+	return findWindowIndexedStream(a, ix, j, probe)
 }
 
 // accept folds one suitable candidate into the scan state shared by the

@@ -1,0 +1,139 @@
+package alloc
+
+import (
+	"ecosched/internal/job"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// scanState is one in-progress window assembly: the per-algorithm fold that
+// the indexed and sharded scans share. accept folds one suitable candidate —
+// delivered in canonical list order with its seq already assigned — into the
+// window under construction, updating eviction/budget counters on stats, and
+// returns the window members the first time the algorithm's completion test
+// succeeds. The fold is a pure function of the candidate sequence: where the
+// candidates come from (one index, or a K-way merge of shard indexes) cannot
+// change its decisions. That is the memoryless-scan property the sharded
+// search's byte-identity rests on.
+type scanState interface {
+	accept(c candidate, stats *Stats) ([]candidate, bool)
+}
+
+// streamAlgorithm is implemented by algorithms whose scan decomposes into an
+// index prefilter plus a scanState fold — the shape both the indexed driver
+// and the sharded candidate merge consume. ALP and AMP both qualify.
+type streamAlgorithm interface {
+	IndexedAlgorithm
+	// scanFilter returns the bucket prefilter equivalent to the algorithm's
+	// per-slot performance/price rejections.
+	scanFilter(req job.ResourceRequest) slot.Filter
+	// newScan starts a fresh fold for one job's scan.
+	newScan(req job.ResourceRequest) scanState
+}
+
+// SupportsSharded reports whether the algorithm can run under the sharded
+// search driver (FindAlternativesSharded). Callers with a sharded grid fall
+// back to the unsharded path — byte-identical by the sharding differential —
+// when this is false.
+func SupportsSharded(algo Algorithm) bool {
+	_, ok := algo.(streamAlgorithm)
+	return ok
+}
+
+// alpScan is ALP's fold: the window under construction holds at most N
+// candidates; each acceptance advances T_last to the candidate's slot start
+// and evicts members whose remaining length expired (steps 2°–4°).
+type alpScan struct {
+	req    job.ResourceRequest
+	active []candidate
+}
+
+func (st *alpScan) accept(c candidate, stats *Stats) ([]candidate, bool) {
+	tLast := c.s.Start()
+	kept := st.active[:0]
+	for _, a := range st.active {
+		if a.deadline >= tLast {
+			kept = append(kept, a)
+		} else {
+			stats.CandidatesEvicted++
+		}
+	}
+	st.active = append(kept, c)
+	if len(st.active) == st.req.Nodes {
+		return st.active, true
+	}
+	return nil, false
+}
+
+func (ALP) scanFilter(req job.ResourceRequest) slot.Filter {
+	return slot.Filter{MinPerf: req.MinPerformance, MaxPrice: req.MaxPrice, PriceCap: true}
+}
+
+func (ALP) newScan(req job.ResourceRequest) scanState {
+	return &alpScan{req: req, active: make([]candidate, 0, req.Nodes)}
+}
+
+// ampScan is AMP's fold: the deadline-heap/cheapest-K state threaded through
+// AMP.accept by both the linear and indexed entry points.
+type ampScan struct {
+	a          AMP
+	req        job.ResourceRequest
+	budget     sim.Money
+	alive      map[int]candidate
+	byDeadline deadlineHeap
+	cheapest   *topK
+}
+
+func (st *ampScan) accept(c candidate, stats *Stats) ([]candidate, bool) {
+	return st.a.accept(c, st.req, st.budget, st.alive, &st.byDeadline, st.cheapest, stats)
+}
+
+func (a AMP) scanFilter(req job.ResourceRequest) slot.Filter {
+	return slot.Filter{MinPerf: req.MinPerformance}
+}
+
+func (a AMP) newScan(req job.ResourceRequest) scanState {
+	return &ampScan{
+		a:        a,
+		req:      req,
+		budget:   req.Budget(),
+		alive:    make(map[int]candidate),
+		cheapest: newTopK(req.Nodes),
+	}
+}
+
+// findWindowIndexedStream is the shared indexed scan driver: prefiltered
+// index walk, suitability check, fold, and Stats reconstruction from the
+// stopping rank. ALP's and AMP's FindWindowIndexed delegate here.
+func findWindowIndexedStream(sa streamAlgorithm, ix *slot.Index, j *job.Job, probe *slot.ScanStats) (*slot.Window, Stats, bool) {
+	var stats Stats
+	if err := validateInput(ix.List(), j); err != nil {
+		return nil, stats, false
+	}
+	req := j.Request
+	limit, n := scanLimit(ix, req)
+	f := sa.scanFilter(req)
+	st := sa.newScan(req)
+
+	accepted := 0
+	var win *slot.Window
+	ix.Scan(f, limit, probe, func(rank int, s slot.Slot) bool {
+		if !suitsBeyondPerformance(s, req) {
+			return true
+		}
+		accepted++
+		// seq mirrors the linear scan's SlotsExamined at acceptance: rank+1.
+		c := newCandidate(s, req, rank+1)
+		if w, ok := st.accept(c, &stats); ok {
+			win = buildWindow(j.Name, c.s.Start(), w)
+			finishScanStats(&stats, req, limit, n, rank, accepted, true)
+			return false
+		}
+		return true
+	})
+	if win != nil {
+		return win, stats, true
+	}
+	finishScanStats(&stats, req, limit, n, 0, accepted, false)
+	return nil, stats, false
+}

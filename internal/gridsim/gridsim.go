@@ -53,10 +53,17 @@ type Grid struct {
 	income map[string]sim.Money
 	// metrics, when non-nil, observes environment churn (see SetMetrics).
 	metrics *Metrics
-	// store is the live vacant-slot store (see store.go), lazily built by
+	// stores holds the live vacant-slot stores (see store.go), one per
+	// shard under SetSharding — stores[i] covers the nodes assigned to
+	// shard i, and an unsharded grid has a single store. Lazily built by
 	// the first publication and maintained in place by every mutation; nil
-	// until then or when rebuildVacant forces the oracle path.
-	store *vacantStore
+	// until then or when rebuildVacant forces the oracle path. An
+	// individual entry goes nil while that shard self-heals.
+	stores []*vacantStore
+	// shardCount and shardOf define the node partition (SetSharding);
+	// shardCount <= 1 means unsharded.
+	shardCount int
+	shardOf    func(*resource.Node) int
 	// rebuildVacant routes VacantSlots/VacantView through the full-rebuild
 	// oracle instead of the live store (see SetRebuildVacant).
 	rebuildVacant bool
@@ -160,7 +167,10 @@ func (g *Grid) VacantSlots(horizon sim.Time) (*slot.List, error) {
 	}
 	g.ensureStore(horizon)
 	g.metrics.storeSnapshot()
-	return g.store.ix.List().Snapshot(), nil
+	if g.Shards() > 1 {
+		return g.mergedStoreList(), nil
+	}
+	return g.stores[0].ix.List().Snapshot(), nil
 }
 
 // Commit books every placement of a chosen window as a VO reservation named

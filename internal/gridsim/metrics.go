@@ -1,6 +1,8 @@
 package gridsim
 
 import (
+	"fmt"
+
 	"ecosched/internal/metrics"
 	"ecosched/internal/slot"
 )
@@ -53,6 +55,13 @@ type Metrics struct {
 	StoreIncoherentDrops *metrics.Counter
 	StoreSlots           *metrics.Gauge
 	StoreIndex           *slot.IndexMetrics
+
+	// reg is retained so sharded grids can lazily resolve the per-shard
+	// counters below without knowing the shard count up front. Per-shard
+	// instruments (gridsim/store/shard<i>/rebuilds_total and
+	// .../incoherent_drops_total) are emitted only when the grid is
+	// actually sharded, so unsharded metric snapshots are unchanged.
+	reg *metrics.Registry
 }
 
 // NewMetrics resolves the grid instruments under the "gridsim/" prefix. A
@@ -82,16 +91,19 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		StoreIncoherentDrops:  r.Counter("gridsim/store/incoherent_drops_total"),
 		StoreSlots:            r.Gauge("gridsim/store/slots"),
 		StoreIndex:            slot.NewIndexMetrics(r, "gridsim/store/index/"),
+		reg:                   r,
 	}
 }
 
-// SetMetrics attaches (or, with nil, detaches) the grid's instruments. An
-// already-built live store is re-targeted at the new registry's index
+// SetMetrics attaches (or, with nil, detaches) the grid's instruments. Any
+// already-built live stores are re-targeted at the new registry's index
 // instruments.
 func (g *Grid) SetMetrics(m *Metrics) {
 	g.metrics = m
-	if g.store != nil {
-		g.store.ix.SetMetrics(m.storeIndexMetrics())
+	for _, st := range g.stores {
+		if st != nil {
+			st.ix.SetMetrics(m.storeIndexMetrics())
+		}
 	}
 }
 
@@ -225,4 +237,24 @@ func (m *Metrics) storeIncoherent() {
 		return
 	}
 	m.StoreIncoherentDrops.Inc()
+}
+
+// storeShardRebuilt and storeShardIncoherent attribute a rebuild or
+// self-healing drop to one shard of a sharded grid. The counters resolve
+// lazily (Registry.Counter is resolve-or-create) so the shard count never
+// has to reach NewMetrics, and they only exist once a sharded grid emits
+// them — unsharded runs keep their historical metric snapshots byte for
+// byte.
+func (m *Metrics) storeShardRebuilt(i int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter(fmt.Sprintf("gridsim/store/shard%d/rebuilds_total", i)).Inc()
+}
+
+func (m *Metrics) storeShardIncoherent(i int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter(fmt.Sprintf("gridsim/store/shard%d/incoherent_drops_total", i)).Inc()
 }

@@ -31,10 +31,10 @@ func checkStore(t *testing.T, g *Grid, step string) {
 	if err := g.VacantStoreCoherent(); err != nil {
 		t.Fatalf("%s: %v", step, err)
 	}
-	if g.store == nil {
+	if len(g.stores) == 0 || g.stores[0] == nil {
 		return
 	}
-	horizon := g.store.horizon
+	horizon := g.stores[0].horizon
 	live, err := g.VacantSlots(horizon)
 	if err != nil {
 		t.Fatalf("%s: VacantSlots: %v", step, err)

@@ -45,6 +45,13 @@ type Universe struct {
 	Retry *metasched.RetryPolicy
 	// RevokeSpan is the interval every revoke action reclaims.
 	RevokeSpan sim.Interval
+	// Shards federates the universe's grid into this many domains
+	// (metasched.Config.Shards); 0 or 1 keeps the single-domain world. The
+	// schedules are byte-identical either way, so a sharded universe
+	// explores the same state space while the auditor additionally checks
+	// every shard store's coherence across fail/recover/revoke
+	// interleavings that cross shard boundaries.
+	Shards int
 }
 
 // Tiny is the smallest interesting universe: two nodes in two domains, two
@@ -82,6 +89,17 @@ func Default() *Universe {
 	return u
 }
 
+// TwoShard is the Default universe federated into two shards: the canonical
+// label hash splits {n1, n3} from {n2}, so the two-node co-allocation job j3
+// must combine candidates across the shard boundary, and a failure or
+// revocation on either side exercises one shard's store while the other's
+// must stay untouched.
+func TwoShard() *Universe {
+	u := Default()
+	u.Shards = 2
+	return u
+}
+
 // Validate checks the universe is well-formed and small enough for the
 // bitmask bookkeeping the explorer uses.
 func (u *Universe) Validate() error {
@@ -96,6 +114,9 @@ func (u *Universe) Validate() error {
 	}
 	if u.RevokeSpan.Empty() || !u.RevokeSpan.Valid() {
 		return fmt.Errorf("mc: invalid revoke span %v", u.RevokeSpan)
+	}
+	if u.Shards < 0 {
+		return fmt.Errorf("mc: negative shard count %d", u.Shards)
 	}
 	return nil
 }
@@ -135,5 +156,6 @@ func (u *Universe) config() metasched.Config {
 		Step:             u.Step,
 		MaxPostponements: u.MaxPostponements,
 		Retry:            u.Retry,
+		Shards:           u.Shards,
 	}
 }

@@ -30,8 +30,10 @@ import (
 // sweep covers repricing, non-dedicated resources, and the re-queue path.
 //
 // reg, when non-nil, attaches the observability registry to the session —
-// the transcript must not change (the metrics-neutrality contract).
-func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear, rebuild bool, reg *metrics.Registry) string {
+// the transcript must not change (the metrics-neutrality contract). opts,
+// when given, mutate the assembled config last — the sharding differential
+// uses this to set Shards without widening the signature again.
+func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear, rebuild bool, reg *metrics.Registry, opts ...func(*metasched.Config)) string {
 	t.Helper()
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
@@ -76,6 +78,9 @@ func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, poli
 			Load: gridsim.LocalLoad{MeanGap: 200, DurMin: 20, DurMax: 90},
 			RNG:  rng.Split(),
 		}
+	}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	sched, err := metasched.New(cfg, grid)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"ecosched/internal/gridsim"
 	"ecosched/internal/job"
 	"ecosched/internal/metrics"
+	"ecosched/internal/shard"
 	"ecosched/internal/sim"
 	"ecosched/internal/trace"
 )
@@ -63,6 +64,16 @@ type Config struct {
 	// pipeline (alloc.FindAlternativesParallel), which is guaranteed to
 	// produce the identical schedule — only wall-clock time changes.
 	Parallelism int
+	// Shards partitions the grid's nodes into this many federated domains
+	// (internal/shard): each shard owns the live vacant store and search
+	// index of its node set, candidate production fans out per shard, and
+	// the combination layer merges per-job alternatives in canonical order
+	// before optimization — byte-identical schedules for every value (the
+	// sharding differential pins this). 0 or 1 keeps the single-domain
+	// behavior. Searches that cannot stream per shard (UseLinearScan, or
+	// an algorithm without an indexed scan) transparently fall back to the
+	// merged single-list search, still byte-identical.
+	Shards int
 	// MaxBudgetStates, when positive, switches the minimize-time optimizer
 	// to the approximate money-grid DP (dp.MinimizeTimeGrid) with grid
 	// step max(1, B*/MaxBudgetStates) — the same DP-granularity knob as
@@ -163,6 +174,9 @@ func (c Config) Validate() error {
 	if c.MaxBatch < 0 || c.MaxPostponements < 0 || c.MaxBudgetStates < 0 {
 		return fmt.Errorf("metasched: negative limits in config")
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("metasched: negative shard count %d", c.Shards)
+	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("metasched: negative parallelism %d", c.Parallelism)
 	}
@@ -252,6 +266,11 @@ type Scheduler struct {
 	droppedJobs map[string]string
 	// retryStats is the cancellation bookkeeping exposed to auditors.
 	retryStats RetryStats
+	// part is the node-to-shard assignment (K=1 when unsharded).
+	part shard.Partition
+	// shardMetrics instruments the federated search; nil when metrics are
+	// off or the session is unsharded.
+	shardMetrics *shard.Metrics
 }
 
 // New creates a scheduler over the grid.
@@ -270,12 +289,21 @@ func New(cfg Config, grid *gridsim.Grid) (*Scheduler, error) {
 		droppedJobs: make(map[string]string),
 	}
 	grid.SetRebuildVacant(cfg.RebuildVacant)
+	s.part = shard.New(cfg.Shards)
+	if s.part.K() > 1 {
+		if err := grid.SetSharding(s.part.K(), s.part.Of); err != nil {
+			return nil, err
+		}
+	}
 	s.metrics = newSchedMetrics(cfg.Metrics)
 	if cfg.Metrics != nil {
 		if s.cfg.Search.Metrics == nil {
 			s.cfg.Search.Metrics = alloc.NewSearchMetrics(cfg.Metrics, cfg.Algorithm.Name())
 		}
 		grid.SetMetrics(gridsim.NewMetrics(cfg.Metrics))
+		if s.part.K() > 1 {
+			s.shardMetrics = shard.NewMetrics(cfg.Metrics, s.part.K())
+		}
 	}
 	return s, nil
 }

@@ -7,6 +7,7 @@ import (
 	"ecosched/internal/alloc"
 	"ecosched/internal/dp"
 	"ecosched/internal/job"
+	"ecosched/internal/shard"
 	"ecosched/internal/sim"
 	"ecosched/internal/slot"
 	"ecosched/internal/trace"
@@ -95,30 +96,67 @@ func (it *Iteration) Plan() error {
 	if err != nil {
 		return err
 	}
-	// VacantView hands out the publication plus, on the live-store path, a
-	// prebuilt index clone the search adopts instead of rebuilding one —
-	// the committed windows of the previous iteration already landed in the
-	// store as deltas, so the steady-state path never pays a NewIndex.
-	vacant, prebuilt, err := s.grid.VacantView(horizon)
-	if err != nil {
-		return err
-	}
-	if s.cfg.DemandPricing != nil {
-		factor := s.cfg.DemandPricing.factor(s.grid.Utilization(horizon))
-		it.rep.PriceFactor = float64(factor)
-		vacant = vacant.Reprice(func(sl slot.Slot) sim.Money { return sl.Price * factor })
-		s.cfg.Trace.Record(trace.Repriced, "", "utilization factor %.3f over %d slots", float64(factor), vacant.Len())
-		// Repricing derived a fresh list the index does not describe; fall
-		// back to the search's own build for this iteration.
-		prebuilt = nil
-	}
-	s.metrics.published(vacant.Len())
-	s.cfg.Trace.Record(trace.SearchStarted, "", "%s over %d slots for %d jobs", s.cfg.Algorithm.Name(), vacant.Len(), batch.Len())
-	searchOpts := s.cfg.Search
-	searchOpts.Prebuilt = prebuilt
-	search, err := alloc.FindAlternativesParallel(s.cfg.Algorithm, vacant, batch, searchOpts, s.cfg.Parallelism)
-	if err != nil {
-		return err
+	var search *alloc.SearchResult
+	if s.part.K() > 1 && !s.cfg.Search.UseLinearScan && alloc.SupportsSharded(s.cfg.Algorithm) {
+		// Federated path: each shard publishes its own vacant view (a live
+		// store clone, or a per-shard rebuild under the oracle knob), the
+		// candidate scans fan out per shard, and the merge layer recombines
+		// them in canonical order — the trace and the schedule stay
+		// byte-identical to the single-domain session.
+		views, err := s.grid.ShardViews(horizon)
+		if err != nil {
+			return err
+		}
+		vacantLen := 0
+		for _, v := range views {
+			vacantLen += v.Len()
+		}
+		if s.cfg.DemandPricing != nil {
+			factor := s.cfg.DemandPricing.factor(s.grid.Utilization(horizon))
+			it.rep.PriceFactor = float64(factor)
+			for i, v := range views {
+				repriced := v.List().Reprice(func(sl slot.Slot) sim.Money { return sl.Price * factor })
+				views[i] = slot.NewIndex(repriced, nil)
+			}
+			s.cfg.Trace.Record(trace.Repriced, "", "utilization factor %.3f over %d slots", float64(factor), vacantLen)
+		}
+		s.shardMetrics.Published(views)
+		s.metrics.published(vacantLen)
+		s.cfg.Trace.Record(trace.SearchStarted, "", "%s over %d slots for %d jobs", s.cfg.Algorithm.Name(), vacantLen, batch.Len())
+		search, err = shard.Search(s.cfg.Algorithm, s.part, views, batch, s.cfg.Search, s.cfg.Parallelism, s.shardMetrics)
+		if err != nil {
+			return err
+		}
+	} else {
+		// VacantView hands out the publication plus, on the live-store path, a
+		// prebuilt index clone the search adopts instead of rebuilding one —
+		// the committed windows of the previous iteration already landed in the
+		// store as deltas, so the steady-state path never pays a NewIndex. A
+		// sharded grid that cannot stream per shard (linear scan, or an
+		// algorithm without an indexed scan) lands here too: VacantView then
+		// serves the canonical merge of the shard stores with no prebuilt
+		// index, which searches identically to the single-domain list.
+		vacant, prebuilt, err := s.grid.VacantView(horizon)
+		if err != nil {
+			return err
+		}
+		if s.cfg.DemandPricing != nil {
+			factor := s.cfg.DemandPricing.factor(s.grid.Utilization(horizon))
+			it.rep.PriceFactor = float64(factor)
+			vacant = vacant.Reprice(func(sl slot.Slot) sim.Money { return sl.Price * factor })
+			s.cfg.Trace.Record(trace.Repriced, "", "utilization factor %.3f over %d slots", float64(factor), vacant.Len())
+			// Repricing derived a fresh list the index does not describe; fall
+			// back to the search's own build for this iteration.
+			prebuilt = nil
+		}
+		s.metrics.published(vacant.Len())
+		s.cfg.Trace.Record(trace.SearchStarted, "", "%s over %d slots for %d jobs", s.cfg.Algorithm.Name(), vacant.Len(), batch.Len())
+		searchOpts := s.cfg.Search
+		searchOpts.Prebuilt = prebuilt
+		search, err = alloc.FindAlternativesParallel(s.cfg.Algorithm, vacant, batch, searchOpts, s.cfg.Parallelism)
+		if err != nil {
+			return err
+		}
 	}
 	it.rep.Alternatives = search.TotalAlternatives()
 	s.metrics.searched(search.Stats.SlotsExamined, it.rep.Alternatives)

@@ -1,0 +1,140 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/job"
+	"ecosched/internal/resource"
+	"ecosched/internal/shard"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// benchGrid generates the scaling-study vacancy: nodes × perNode vacant
+// slots laid out as near-contiguous per-node runs, so deadline-bounded scans
+// cover a time prefix spanning every node. Performance spreads over
+// [1, 10.9] so a demanding MinPerformance filter passes only a few percent
+// of candidates — the deep-scan regime the study measures.
+func benchGrid(nodes, perNode int) (*resource.Pool, []slot.Slot) {
+	specs := make([]*resource.Node, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		specs = append(specs, &resource.Node{
+			Name:        fmt.Sprintf("b%d", i+1),
+			Performance: 1 + float64(i%100)/10,
+			Price:       sim.Money(1 + i%5),
+		})
+	}
+	pool := resource.MustNewPool(specs)
+	slots := make([]slot.Slot, 0, nodes*perNode)
+	for i, n := range pool.Nodes() {
+		for j := 0; j < perNode; j++ {
+			start := sim.Time(j*110 + (i*13)%37)
+			slots = append(slots, slot.New(n, start, start+100))
+		}
+	}
+	return pool, slots
+}
+
+// benchBatch builds the study's job population: nine of every ten jobs are
+// deadline-bounded probes whose MinPerformance passes ~4% of the grid, so
+// each one scans the full deadline prefix; every tenth job is an easily
+// placed two-node request that commits real subtractions into the views.
+func benchBatch(b *testing.B, jobs int, deadline sim.Time) *job.Batch {
+	out := make([]*job.Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		j := &job.Job{Name: fmt.Sprintf("j%d", i+1), Priority: i + 1}
+		if i%10 == 0 {
+			j.Request = job.ResourceRequest{Nodes: 2, Time: 50, MinPerformance: 1, MaxPrice: 1000}
+		} else {
+			j.Request = job.ResourceRequest{Nodes: 8, Time: 100, MinPerformance: 10.5, MaxPrice: 1000, Deadline: deadline}
+		}
+		out = append(out, j)
+	}
+	batch, err := job.NewBatch(out)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return batch
+}
+
+// shardViews splits the generated vacancy by the canonical partition into
+// per-shard indexes, fresh for every measurement (the search subtracts from
+// them in place).
+func shardViews(p shard.Partition, pool *resource.Pool, slots []slot.Slot) []*slot.Index {
+	parts := make([][]slot.Slot, p.K())
+	for _, s := range slots {
+		i := p.Of(s.Node)
+		parts[i] = append(parts[i], s)
+	}
+	views := make([]*slot.Index, p.K())
+	for i := range views {
+		part := make([]slot.Slot, len(parts[i]))
+		copy(part, parts[i])
+		views[i] = slot.NewIndex(slot.NewList(part), nil)
+	}
+	return views
+}
+
+// BenchmarkShardedSession is the committed scaling study (BENCH_shard.json):
+// one full single-pass alternative search per iteration — the scan phase of
+// a metascheduler session — across shards × slots × batch size, with the
+// largest configuration at 1M vacant slots and a 100k-job batch. Every
+// shard count including K=1 runs through FindAlternativesSharded, so the
+// work accounting is apples-to-apples.
+//
+// This container has a single CPU, so wall-clock ns/op cannot show parallel
+// speedup; the study's headline metric is critpath-ranks/op — the
+// deterministic scan-phase critical path (per producer round, the maximum
+// ranks walked by any one shard), which is what K cores would pay. The
+// acceptance bar is critpath(K=1) / critpath(K=4) >= 2. scan-ranks/op is
+// the total production work and stays ~flat across K (sharding divides the
+// scan, it does not add work), and merged/op counts candidates surviving
+// the per-shard filters into the cross-shard combination.
+func BenchmarkShardedSession(b *testing.B) {
+	shapes := []struct {
+		nodes, perNode, jobs int
+		// deadline bounds every probe's scan: ranks-per-scan ≈ nodes ×
+		// deadline / 110. The 100k-job batch halves the per-scan depth so
+		// the study's total rank budget stays comparable across shapes.
+		deadline sim.Time
+	}{
+		{500, 500, 10_000, 440},
+		{1000, 1000, 10_000, 440},
+		{1000, 1000, 100_000, 220},
+	}
+	for _, shape := range shapes {
+		pool, slots := benchGrid(shape.nodes, shape.perNode)
+		batch := benchBatch(b, shape.jobs, shape.deadline)
+		for _, k := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("slots=%d/jobs=%d/shards=%d", shape.nodes*shape.perNode, shape.jobs, k)
+			b.Run(name, func(b *testing.B) {
+				p := shard.New(k)
+				var critpath, scanned, merged int64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					views := shardViews(p, pool, slots)
+					work := &alloc.ShardWork{}
+					b.StartTimer()
+					res, err := alloc.FindAlternativesSharded(alloc.ALP{}, views, p.Of, batch,
+						alloc.SearchOptions{FirstOnly: true}, k, work)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.TotalAlternatives() == 0 {
+						b.Fatal("no windows found — the study needs placeable jobs")
+					}
+					critpath += work.CriticalPath
+					for _, n := range work.ScanSlots {
+						scanned += n
+					}
+					merged += work.Merged
+				}
+				b.ReportMetric(float64(critpath)/float64(b.N), "critpath-ranks/op")
+				b.ReportMetric(float64(scanned)/float64(b.N), "scan-ranks/op")
+				b.ReportMetric(float64(merged)/float64(b.N), "merged/op")
+			})
+		}
+	}
+}

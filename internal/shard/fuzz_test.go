@@ -1,0 +1,131 @@
+package shard_test
+
+import (
+	"testing"
+
+	"ecosched/internal/gridsim"
+	"ecosched/internal/resource"
+	"ecosched/internal/shard"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// FuzzShardPartition fuzzes the partitioner against its naive model and the
+// grid's federated publication: for an arbitrary node population and shard
+// count,
+//
+//   - every node lands in exactly one shard, matching the independent hash
+//     model;
+//   - the assignment is stable under permutation of the node set and under
+//     removing a node (simulating node churn — survivors never migrate);
+//   - each shard's published vacant view holds only its own nodes' slots,
+//     and the canonical merge of all views is byte-identical to the global
+//     publication and to the rebuild oracle.
+func FuzzShardPartition(f *testing.F) {
+	f.Add(uint64(1), 6, 2)
+	f.Add(uint64(7), 12, 7)
+	f.Add(uint64(42), 3, 5)
+	f.Add(uint64(9), 8, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, nodeCount, k int) {
+		if nodeCount < 1 {
+			nodeCount = 1
+		}
+		if nodeCount > 24 {
+			nodeCount = nodeCount%24 + 1
+		}
+		if k < 1 {
+			k = 1
+		}
+		if k > 9 {
+			k = k%9 + 1
+		}
+		rng := sim.NewRNG(seed)
+		nodes := make([]*resource.Node, 0, nodeCount)
+		for i := 0; i < nodeCount; i++ {
+			nodes = append(nodes, &resource.Node{
+				Name:        "m" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+				Performance: rng.FloatBetween(1, 3),
+				Price:       sim.Money(rng.IntBetween(1, 5)),
+			})
+		}
+		pool := resource.MustNewPool(nodes)
+		p := shard.New(k)
+
+		// Exactly-one membership, against the independent model.
+		groups := p.Split(pool)
+		seen := make(map[string]int)
+		for i, g := range groups {
+			for _, n := range g {
+				if prev, dup := seen[n.Label()]; dup {
+					t.Fatalf("node %s in shards %d and %d", n.Label(), prev, i)
+				}
+				seen[n.Label()] = i
+				if want := fnvShard(n.Label(), p.K()); i != want {
+					t.Fatalf("node %s in shard %d, model says %d", n.Label(), i, want)
+				}
+			}
+		}
+		if len(seen) != pool.Size() {
+			t.Fatalf("%d of %d nodes assigned", len(seen), pool.Size())
+		}
+
+		// Permutation and removal stability: rebuild the pool reversed and
+		// with the first node removed; every surviving label keeps its shard.
+		reversed := make([]*resource.Node, 0, len(nodes))
+		for i := len(nodes) - 1; i > 0; i-- {
+			n := nodes[i]
+			reversed = append(reversed, &resource.Node{Name: n.Name, Performance: n.Performance, Price: n.Price})
+		}
+		if len(reversed) > 0 {
+			for _, n := range resource.MustNewPool(reversed).Nodes() {
+				if got := p.Of(n); got != seen[n.Label()] {
+					t.Fatalf("node %s migrated from shard %d to %d under permutation/removal", n.Label(), seen[n.Label()], got)
+				}
+			}
+		}
+
+		// Federated publication: union of shard views == global view.
+		grid, err := gridsim.New(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := grid.SetSharding(p.K(), p.Of); err != nil {
+			t.Fatal(err)
+		}
+		if err := grid.Populate(gridsim.LocalLoad{MeanGap: 60, DurMin: 20, DurMax: 80}, 0, 400, rng.Split()); err != nil {
+			t.Fatal(err)
+		}
+		horizon := sim.Time(500)
+		views, err := grid.ShardViews(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(views) != p.K() {
+			t.Fatalf("%d views for %d shards", len(views), p.K())
+		}
+		lists := make([]*slot.List, len(views))
+		for i, v := range views {
+			for _, s := range v.List().Slots() {
+				if got := p.Of(s.Node); got != i {
+					t.Fatalf("view %d holds slot of node %s (shard %d)", i, s.Node.Label(), got)
+				}
+			}
+			lists[i] = v.List()
+		}
+		merged := slot.MergeLists(lists...)
+		global, err := grid.VacantSlots(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := grid.RebuildVacantSlots(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.String() != global.String() {
+			t.Fatalf("merged shard views != global publication\n--- merged ---\n%v\n--- global ---\n%v", merged, global)
+		}
+		if merged.String() != oracle.String() {
+			t.Fatalf("merged shard views != rebuild oracle\n--- merged ---\n%v\n--- oracle ---\n%v", merged, oracle)
+		}
+	})
+}

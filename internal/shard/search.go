@@ -1,0 +1,28 @@
+package shard
+
+import (
+	"ecosched/internal/alloc"
+	"ecosched/internal/job"
+	"ecosched/internal/slot"
+)
+
+// Search runs the federated alternative search over per-shard vacant views:
+// alloc.FindAlternativesSharded with this partition's node assignment, plus
+// metrics observation of the scan-phase work. views[i] must hold exactly the
+// vacant slots of the nodes Of assigns to shard i (gridsim.ShardViews
+// publishes such views), and ownership transfers — the search subtracts found
+// windows from the views in place. Results are byte-identical to the
+// unsharded search over the merged list.
+func Search(algo alloc.Algorithm, p Partition, views []*slot.Index, batch *job.Batch,
+	opts alloc.SearchOptions, parallelism int, m *Metrics) (*alloc.SearchResult, error) {
+	var work *alloc.ShardWork
+	if m != nil {
+		work = &alloc.ShardWork{ScanSlots: make([]int64, len(views))}
+	}
+	res, err := alloc.FindAlternativesSharded(algo, views, p.Of, batch, opts, parallelism, work)
+	if err != nil {
+		return nil, err
+	}
+	m.ObserveSearch(work)
+	return res, nil
+}

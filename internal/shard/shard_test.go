@@ -1,0 +1,140 @@
+package shard_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"ecosched/internal/resource"
+	"ecosched/internal/shard"
+	"ecosched/internal/sim"
+)
+
+// testPool builds a pool of n nodes named by the given format.
+func testPool(t testing.TB, format string, n int) *resource.Pool {
+	t.Helper()
+	nodes := make([]*resource.Node, 0, n)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, &resource.Node{
+			Name:        fmt.Sprintf(format, i+1),
+			Performance: 1 + float64(i%3),
+			Price:       sim.Money(2 + i%4),
+		})
+	}
+	return resource.MustNewPool(nodes)
+}
+
+// fnvShard is the test's independent model of the assignment: FNV-64a over
+// the label, mod k — re-implemented here so a regression in the production
+// hash cannot hide behind itself.
+func fnvShard(label string, k int) int {
+	var h uint64 = 14695981039346656037
+	for _, b := range []byte(label) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int(h % uint64(k))
+}
+
+// TestPartitionMatchesModel checks Of against the independent hash model for
+// every node and shard count, and pins non-degeneracy of the node-naming
+// schemes the suites shard: the differential sessions' n1..n12 must occupy
+// every shard at K ∈ {2, 4, 7}.
+func TestPartitionMatchesModel(t *testing.T) {
+	pool := testPool(t, "n%d", 12)
+	for _, k := range []int{2, 3, 4, 7} {
+		p := shard.New(k)
+		used := make(map[int]bool)
+		for _, n := range pool.Nodes() {
+			got := p.Of(n)
+			if want := fnvShard(n.Label(), k); got != want {
+				t.Fatalf("k=%d node %s: Of=%d, model=%d", k, n.Label(), got, want)
+			}
+			if got < 0 || got >= k {
+				t.Fatalf("k=%d node %s: shard %d out of range", k, n.Label(), got)
+			}
+			used[got] = true
+		}
+		if len(used) != k {
+			t.Errorf("k=%d: n1..n12 occupy only %d shards — degenerate split", k, len(used))
+		}
+	}
+}
+
+// TestPartitionStability pins the assignment as a pure function of the node
+// label: identical across separately constructed partitions and pools,
+// independent of node order, and unchanged for surviving nodes when others
+// join or leave.
+func TestPartitionStability(t *testing.T) {
+	p, q := shard.New(4), shard.New(4)
+	pool := testPool(t, "cpu%d", 9)
+	reversed := make([]*resource.Node, 0, 9)
+	for i := 8; i >= 0; i-- {
+		n := pool.Nodes()[i]
+		reversed = append(reversed, &resource.Node{Name: n.Name, Performance: n.Performance, Price: n.Price})
+	}
+	revPool := resource.MustNewPool(reversed)
+	for _, n := range pool.Nodes() {
+		if p.Of(n) != q.Of(n) {
+			t.Fatalf("node %s: two equal partitions disagree", n.Label())
+		}
+		if p.Of(n) != p.Of(revPool.ByName(n.Label())) {
+			t.Fatalf("node %s: assignment depends on pool order", n.Label())
+		}
+	}
+	smaller := testPool(t, "cpu%d", 5)
+	for _, n := range smaller.Nodes() {
+		if p.Of(n) != p.Of(pool.ByName(n.Label())) {
+			t.Fatalf("node %s: assignment changed when other nodes were removed", n.Label())
+		}
+	}
+}
+
+// TestNewClamps pins the degenerate cases: K < 1 clamps to the unsharded
+// partition, whose assignment is constant zero.
+func TestNewClamps(t *testing.T) {
+	for _, k := range []int{-3, 0, 1} {
+		p := shard.New(k)
+		if p.K() != 1 {
+			t.Errorf("New(%d).K() = %d, want 1", k, p.K())
+		}
+		if got := p.Of(&resource.Node{Name: "anything"}); got != 0 {
+			t.Errorf("New(%d).Of = %d, want 0", k, got)
+		}
+	}
+}
+
+// TestSplit checks the grouping: every node lands in exactly the group Of
+// names, pool order is preserved within groups, and shards with no nodes
+// stay as empty groups rather than being dropped.
+func TestSplit(t *testing.T) {
+	pool := testPool(t, "cpu%d", 12)
+	p := shard.New(7)
+	groups := p.Split(pool)
+	if len(groups) != 7 {
+		t.Fatalf("Split returned %d groups, want 7", len(groups))
+	}
+	total, empty := 0, 0
+	for i, g := range groups {
+		total += len(g)
+		if len(g) == 0 {
+			empty++
+		}
+		ids := make([]int, 0, len(g))
+		for _, n := range g {
+			if p.Of(n) != i {
+				t.Fatalf("node %s in group %d but Of says %d", n.Label(), i, p.Of(n))
+			}
+			ids = append(ids, int(n.ID))
+		}
+		if !sort.IntsAreSorted(ids) {
+			t.Fatalf("group %d not in pool order: %v", i, ids)
+		}
+	}
+	if total != 12 {
+		t.Fatalf("groups hold %d nodes, want 12", total)
+	}
+	if empty == 0 {
+		t.Log("cpu1..cpu12 fill all 7 shards; empty-shard handling exercised elsewhere")
+	}
+}

@@ -362,8 +362,26 @@ const selectiveFactor = 4
 // touched along the way, never the order or the membership. probe, when
 // non-nil, accumulates the traversal work.
 func (ix *Index) Scan(f Filter, limit int, probe *ScanStats, fn func(rank int, s Slot) bool) {
+	ix.ScanFrom(f, 0, limit, probe, fn)
+}
+
+// ScanFrom is Scan resumed at a rank: it visits, in ascending rank order,
+// every slot of rank in [from, limit) that passes f. Buckets wholly below the
+// resume rank are stepped over without touching their slots (and without
+// counting in probe — a resumed scan's work is the work of its own window),
+// so a caller chunking one logical scan into consecutive ScanFrom calls
+// yields exactly the sequence a single Scan would, visiting each bucket's
+// slots at most once overall. The sharded search's per-shard candidate
+// cursors are that caller.
+func (ix *Index) ScanFrom(f Filter, from, limit int, probe *ScanStats, fn func(rank int, s Slot) bool) {
 	if limit > ix.list.Len() {
 		limit = ix.list.Len()
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= limit {
+		return
 	}
 	var st ScanStats
 	if probe != nil {
@@ -376,13 +394,23 @@ func (ix *Index) Scan(f Filter, limit int, probe *ScanStats, fn func(rank int, s
 			break
 		}
 		bk := &ix.buckets[bi]
+		if base+bk.count <= from {
+			// Wholly before the resume rank: a prior chunk already covered it.
+			base += bk.count
+			continue
+		}
 		span := bk.count
 		if base+span > limit {
 			span = limit - base
 		}
+		// lo is the first in-bucket offset of this scan's window.
+		lo := 0
+		if from > base {
+			lo = from - base
+		}
 		if bk.maxPerf < f.MinPerf || (f.PriceCap && bk.minPrice > f.MaxPrice) {
 			st.BucketsPruned++
-			st.SlotsSkipped += span
+			st.SlotsSkipped += span - lo
 			base += bk.count
 			continue
 		}
@@ -393,7 +421,7 @@ func (ix *Index) Scan(f Filter, limit int, probe *ScanStats, fn func(rank int, s
 		})
 		if k == 0 {
 			st.BucketsPruned++
-			st.SlotsSkipped += span
+			st.SlotsSkipped += span - lo
 			base += bk.count
 			continue
 		}
@@ -402,12 +430,12 @@ func (ix *Index) Scan(f Filter, limit int, probe *ScanStats, fn func(rank int, s
 			// Selective: re-sort the small passing prefix into rank order.
 			scratch = scratch[:0]
 			for _, off := range bk.byPerf[:k] {
-				if int(off) < span {
+				if int(off) >= lo && int(off) < span {
 					scratch = append(scratch, off)
 				}
 			}
 			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-			st.SlotsSkipped += span - len(scratch)
+			st.SlotsSkipped += span - lo - len(scratch)
 			for _, off := range scratch {
 				rank := base + int(off)
 				s := ix.list.slots[rank]
@@ -421,7 +449,7 @@ func (ix *Index) Scan(f Filter, limit int, probe *ScanStats, fn func(rank int, s
 				}
 			}
 		} else {
-			for off := 0; off < span; off++ {
+			for off := lo; off < span; off++ {
 				rank := base + off
 				s := ix.list.slots[rank]
 				if s.Performance() < f.MinPerf || (f.PriceCap && s.Price > f.MaxPrice) {

@@ -63,6 +63,52 @@ func (l *List) sort() {
 	sort.SliceStable(l.slots, func(i, j int) bool { return less(l.slots[i], l.slots[j]) })
 }
 
+// Less reports whether a orders strictly before b in the canonical list order:
+// start time, then node ID (nil node first), then end time. It is the total
+// order every List maintains, exported so cross-list machinery — the sharded
+// search's K-way candidate merge — can compare heads from different lists
+// against the same order the lists themselves use.
+func Less(a, b Slot) bool { return less(a, b) }
+
+// CountLess returns how many slots in the list order strictly before s under
+// the canonical order. For a slot present in the list this is its rank; for a
+// partition of one list into several, summing CountLess over the parts
+// recovers a slot's rank in the original (slots on distinct nodes never
+// compare equal, so the parts are mutually tie-free).
+func (l *List) CountLess(s Slot) int {
+	return sort.Search(len(l.slots), func(i int) bool { return !less(l.slots[i], s) })
+}
+
+// MergeLists merges already-ordered lists into one canonical list in O(n·K).
+// It is the inverse of partitioning a list by node: merging the per-shard
+// vacant views yields the exact global view, byte for byte, because the
+// canonical order is total and node-disjoint parts never tie. The result owns
+// fresh backing storage, so later mutations of the inputs do not affect it.
+func MergeLists(parts ...*List) *List {
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += p.Len()
+		}
+	}
+	out := &List{slots: make([]Slot, 0, total)}
+	idx := make([]int, len(parts))
+	for len(out.slots) < total {
+		best := -1
+		for i, p := range parts {
+			if p == nil || idx[i] >= p.Len() {
+				continue
+			}
+			if best < 0 || less(p.slots[idx[i]], parts[best].slots[idx[best]]) {
+				best = i
+			}
+		}
+		out.slots = append(out.slots, parts[best].slots[idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
 // Len returns the number of slots in the list.
 func (l *List) Len() int { return len(l.slots) }
 

@@ -26,10 +26,12 @@ const (
 // price-relaxation degradation ladder, and a fault plan injecting node
 // crashes, recoveries and slot revocations between iterations. faultsSpec
 // is the plan DSL from -faults ("fail@300:cpu3;recover@600:cpu3;
-// revoke@450:cpu5:500-700"); empty generates a seeded random plan. The
+// revoke@450:cpu5:500-700"); empty generates a seeded random plan. service
+// drives the session through the continuous-service event loop (events and
+// ticks enqueue evaluations; the transcript is byte-identical). The
 // invariant auditor runs after every event and iteration; the command fails
 // on the first violation.
-func runChaos(seed uint64, faultsSpec string, parallelism, shards int, linearScan, rebuildVacant bool, reg *metrics.Registry) error {
+func runChaos(seed uint64, faultsSpec string, parallelism, shards int, linearScan, rebuildVacant, service bool, reg *metrics.Registry) error {
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	var nodes []*resource.Node
@@ -82,6 +84,13 @@ func runChaos(seed uint64, faultsSpec string, parallelism, shards int, linearSca
 	if err != nil {
 		return err
 	}
+	var svc *metasched.Service
+	if service {
+		svc, err = metasched.NewService(sched, metasched.ServiceConfig{Workers: parallelism})
+		if err != nil {
+			return err
+		}
+	}
 	for i := 0; i < 10; i++ {
 		j := &job.Job{
 			Name:     fmt.Sprintf("job%d", i+1),
@@ -93,7 +102,12 @@ func runChaos(seed uint64, faultsSpec string, parallelism, shards int, linearSca
 				MaxPrice:       pricing.BasePrice(1.5) * sim.Money(rng.FloatBetween(1.0, 1.5)),
 			},
 		}
-		if err := sched.Submit(j); err != nil {
+		if svc != nil {
+			err = svc.Submit(j)
+		} else {
+			err = sched.Submit(j)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -119,7 +133,12 @@ func runChaos(seed uint64, faultsSpec string, parallelism, shards int, linearSca
 	}
 	fmt.Printf("chaos: %d nodes in %d domains, %d fault events: %s\n",
 		pool.Size(), len(pool.Domains()), plan.Len(), plan)
-	sess, err := fault.NewSession(sched, plan, os.Stdout)
+	var sess *fault.Session
+	if svc != nil {
+		sess, err = fault.NewServiceSession(svc, plan, os.Stdout)
+	} else {
+		sess, err = fault.NewSession(sched, plan, os.Stdout)
+	}
 	if err != nil {
 		return err
 	}

@@ -20,9 +20,11 @@ import (
 // vacant-slot store for a full per-publication rebuild; the resulting
 // schedule is identical for every combination. shards federates the grid
 // into that many sharded domains with cross-shard combination — again with a
-// byte-identical schedule. reg, when non-nil, collects the session's metrics
+// byte-identical schedule. service swaps the batch iteration loop for the
+// continuous-service event loop (submits and ticks enqueue evaluations; the
+// reports are identical). reg, when non-nil, collects the session's metrics
 // for the caller's -metrics dump.
-func runGridsim(seed uint64, parallelism, shards int, linearScan, rebuildVacant bool, reg *metrics.Registry) error {
+func runGridsim(seed uint64, parallelism, shards int, linearScan, rebuildVacant, service bool, reg *metrics.Registry) error {
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	var nodes []*resource.Node
@@ -66,6 +68,13 @@ func runGridsim(seed uint64, parallelism, shards int, linearScan, rebuildVacant 
 	if err != nil {
 		return err
 	}
+	var svc *metasched.Service
+	if service {
+		svc, err = metasched.NewService(sched, metasched.ServiceConfig{Workers: parallelism})
+		if err != nil {
+			return err
+		}
+	}
 	for i := 0; i < 10; i++ {
 		j := &job.Job{
 			Name:     fmt.Sprintf("job%d", i+1),
@@ -77,15 +86,33 @@ func runGridsim(seed uint64, parallelism, shards int, linearScan, rebuildVacant 
 				MaxPrice:       pricing.BasePrice(1.5) * sim.Money(rng.FloatBetween(1.0, 1.5)),
 			},
 		}
-		if err := sched.Submit(j); err != nil {
+		if svc != nil {
+			err = svc.Submit(j)
+		} else {
+			err = sched.Submit(j)
+		}
+		if err != nil {
 			return err
 		}
 	}
 	fmt.Printf("grid: %d nodes in %d domains, initial utilization %.0f%%\n",
 		pool.Size(), len(pool.Domains()), 100*grid.Utilization(2400))
-	reports, err := sched.RunUntilDrained(8)
-	if err != nil {
-		return err
+	var reports []*metasched.IterationReport
+	if svc != nil {
+		// Service mode: tick rounds until the queue drains, the event-loop
+		// equivalent of RunUntilDrained — identical reports by construction.
+		for i := 0; i < 8 && sched.QueueLength() > 0; i++ {
+			rep, err := svc.Tick()
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+		}
+	} else {
+		reports, err = sched.RunUntilDrained(8)
+		if err != nil {
+			return err
+		}
 	}
 	for _, r := range reports {
 		fmt.Printf("iteration %d (t=%v): batch=%d placed=%d postponed=%d dropped=%d alternatives=%d planT=%v planC=%v\n",

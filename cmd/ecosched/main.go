@@ -56,11 +56,12 @@ func run(args []string) error {
 	shards := fs.Int("shards", 1, "federate the grid into K sharded domains with cross-shard combination (schedules are identical for every value)")
 	linearScan := fs.Bool("linear-scan", false, "use the linear oracle scan instead of the bucketed slot index (results are identical for either)")
 	rebuildVacant := fs.Bool("rebuild-vacant", false, "rebuild the vacant-slot list from the bookings on every publication instead of maintaining the live store (results are identical for either)")
+	service := fs.Bool("service", false, "drive the session through the continuous-service event loop (eval queue + plan/apply rounds; transcripts are identical to batch mode)")
 	faults := fs.String("faults", "", "fault plan for the chaos scenario, e.g. \"fail@300:cpu3;recover@600:cpu3;revoke@450:cpu5:500-700\" (empty = seeded random plan)")
 	universe := fs.String("universe", "default", "model-checker universe: tiny (2 nodes, 2 jobs), default (3 nodes, 3 jobs), or 2shard (default federated into two shards)")
 	depth := fs.Int("depth", 8, "model-checker interleaving depth bound")
 	states := fs.Int("states", 200000, "model-checker distinct-state bound")
-	mutation := fs.String("mutation", "none", "model-checker seeded bug: none, double-refund, resurrect (the sweep must catch it)")
+	mutation := fs.String("mutation", "none", "model-checker seeded bug: none, double-refund, resurrect, blind-apply (the sweep must catch it)")
 	cexPath := fs.String("cex", "", "write the model-checker counterexample script to this file")
 	liveness := fs.Bool("liveness", true, "model-checker: drain sampled leaf states to check every job terminates")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot after the subcommand (\"-\" = stdout, .json = JSON encoding)")
@@ -83,9 +84,9 @@ func run(args []string) error {
 	cfg.Search.UseLinearScan = *linearScan
 
 	if cmd == "mc" {
-		return runMC(*universe, *depth, *states, *mutation, *cexPath, *liveness)
+		return runMC(*universe, *depth, *states, *mutation, *cexPath, *liveness, *service)
 	}
-	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *faults, *parallelism, *shards, *rebuildVacant, reg); err != nil {
+	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *faults, *parallelism, *shards, *rebuildVacant, *service, reg); err != nil {
 		return err
 	}
 	if reg != nil {
@@ -96,7 +97,7 @@ func run(args []string) error {
 
 // dispatch runs one subcommand; the caller dumps the metrics snapshot (if
 // requested) after it returns, so every subcommand gets -metrics for free.
-func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file, faults string, parallelism, shards int, rebuildVacant bool, reg *metrics.Registry) error {
+func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file, faults string, parallelism, shards int, rebuildVacant, service bool, reg *metrics.Registry) error {
 	switch cmd {
 	case "example":
 		return runExample()
@@ -223,9 +224,9 @@ func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations i
 	case "pareto":
 		return runPareto(seed)
 	case "gridsim":
-		return runGridsim(seed, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, reg)
+		return runGridsim(seed, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, service, reg)
 	case "chaos":
-		return runChaos(seed, faults, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, reg)
+		return runChaos(seed, faults, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, service, reg)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -291,8 +292,9 @@ flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism 
                         -pprof ADDR   (serve net/http/pprof while running)
                         -linear-scan  (linear oracle scan instead of the slot index; identical results)
                         -rebuild-vacant (full vacancy rebuild per publication instead of the live store; identical results)
+                        -service      (continuous-service event loop for gridsim/chaos/mc; identical transcripts)
                         -faults PLAN  (chaos fault plan, e.g. "fail@300:cpu3;recover@600:cpu3")
 mc flags:               -universe tiny|default|2shard -depth N -states N -liveness
-                        -mutation none|double-refund|resurrect -cex PATH
+                        -mutation none|double-refund|resurrect|blind-apply -cex PATH
 `)
 }

@@ -28,6 +28,13 @@ type Session struct {
 	plan  *Plan
 	audit *Audit
 	w     io.Writer
+	// svc, when non-nil, switches the session to service mode: events route
+	// through the service's handlers (enqueueing evaluations) and each
+	// iteration is a service round (Tick) instead of RunIteration. Because
+	// a round is exactly the batch step sequence with evaluation-queue
+	// bookkeeping around it, service-mode transcripts are byte-identical to
+	// batch-mode ones — the service chaos differential pins this.
+	svc *metasched.Service
 	// next indexes the first plan event not yet applied.
 	next int
 }
@@ -49,6 +56,22 @@ func NewSession(s *metasched.Scheduler, plan *Plan, w io.Writer) (*Session, erro
 	return &Session{sched: s, plan: plan, audit: NewAudit(s), w: w}, nil
 }
 
+// NewServiceSession binds a continuous-service metascheduler to a fault plan:
+// the session drives the service's event loop — plan events become service
+// events, iterations become evaluation rounds — under the same audit and
+// transcript contract as the batch session.
+func NewServiceSession(svc *metasched.Service, plan *Plan, w io.Writer) (*Session, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("fault: nil service")
+	}
+	s, err := NewSession(svc.Scheduler(), plan, w)
+	if err != nil {
+		return nil, err
+	}
+	s.svc = svc
+	return s, nil
+}
+
 // Audit returns the session's invariant checker.
 func (s *Session) Audit() *Audit { return s.audit }
 
@@ -64,7 +87,7 @@ func (s *Session) Run(iterations int) error {
 		if err := s.injectDue(); err != nil {
 			return err
 		}
-		rep, err := s.sched.RunIteration()
+		rep, err := s.runIteration()
 		if err != nil {
 			return err
 		}
@@ -78,6 +101,15 @@ func (s *Session) Run(iterations int) error {
 	}
 	WriteSummary(s.w, s.sched, s.next, s.plan.Len())
 	return nil
+}
+
+// runIteration runs one scheduling step: a service round in service mode, a
+// batch iteration otherwise.
+func (s *Session) runIteration() (*metasched.IterationReport, error) {
+	if s.svc != nil {
+		return s.svc.Tick()
+	}
+	return s.sched.RunIteration()
 }
 
 // injectDue applies every not-yet-applied plan event whose time has been
@@ -104,15 +136,29 @@ func (s *Session) apply(e Event) error {
 	s.audit.BeginEvent()
 	var requeued []string
 	var err error
-	switch e.Kind {
-	case Fail:
-		requeued, err = s.sched.HandleNodeFailure(e.Node)
-	case Recover:
-		err = s.sched.HandleNodeRecovery(e.Node)
-	case Revoke:
-		requeued, err = s.sched.HandleRevocation(e.Node, e.Span)
+	switch {
+	case s.svc != nil:
+		switch e.Kind {
+		case Fail:
+			requeued, err = s.svc.HandleNodeFailure(e.Node)
+		case Recover:
+			err = s.svc.HandleNodeRecovery(e.Node)
+		case Revoke:
+			requeued, err = s.svc.HandleRevocation(e.Node, e.Span)
+		default:
+			err = fmt.Errorf("unknown event kind %d", int(e.Kind))
+		}
 	default:
-		err = fmt.Errorf("unknown event kind %d", int(e.Kind))
+		switch e.Kind {
+		case Fail:
+			requeued, err = s.sched.HandleNodeFailure(e.Node)
+		case Recover:
+			err = s.sched.HandleNodeRecovery(e.Node)
+		case Revoke:
+			requeued, err = s.sched.HandleRevocation(e.Node, e.Span)
+		default:
+			err = fmt.Errorf("unknown event kind %d", int(e.Kind))
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("fault: applying %v: %w", e, err)

@@ -46,6 +46,7 @@ func (g *Grid) CanonicalState(b *strings.Builder) {
 // flag them. Production code must only ever book through Book or Commit.
 func (g *Grid) ForceBook(t Task) {
 	g.booked[t.Node] = append(g.booked[t.Node], t)
+	g.epoch++
 }
 
 // AdjustIncome shifts a domain's income ledger by delta without any
@@ -54,4 +55,5 @@ func (g *Grid) ForceBook(t Task) {
 // a ledger negative); no production path calls it.
 func (g *Grid) AdjustIncome(domain string, delta sim.Money) {
 	g.income[domain] += delta
+	g.epoch++
 }

@@ -29,6 +29,7 @@ func (g *Grid) FailNode(id resource.NodeID, at sim.Time) ([]Task, error) {
 		return nil, nil
 	}
 	g.failed[id] = at
+	g.epoch++
 	// The failure mark is set before any booking changes: the store drops
 	// the node's slots wholesale here, and the cancellation removals below
 	// then skip their per-booking restores (storeUnbook is a no-op on a
@@ -90,6 +91,7 @@ func (g *Grid) CancelJob(name string) []Task {
 				list = append(list[:i], list[i+1:]...)
 				g.booked[id] = list
 				g.storeUnbook(node, t.Span)
+				g.epoch++
 				continue
 			}
 			i++
@@ -112,6 +114,7 @@ func (g *Grid) RecoverNode(id resource.NodeID) error {
 		return nil
 	}
 	delete(g.failed, id)
+	g.epoch++
 	g.storeRecover(g.pool.Node(id))
 	g.metrics.recovered()
 	return nil
@@ -156,6 +159,7 @@ func (g *Grid) RevokeInterval(id resource.NodeID, span sim.Interval) ([]Task, er
 			list = append(list[:i], list[i+1:]...)
 			g.booked[id] = list
 			g.storeUnbook(node, t.Span)
+			g.epoch++
 			continue
 		}
 		i++

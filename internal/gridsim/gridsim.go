@@ -67,6 +67,14 @@ type Grid struct {
 	// rebuildVacant routes VacantSlots/VacantView through the full-rebuild
 	// oracle instead of the live store (see SetRebuildVacant).
 	rebuildVacant bool
+	// epoch counts logical mutations (bookings, removals, failures,
+	// recoveries, revocations, clock advances). A plan records the epoch of
+	// the snapshot it searched against; an unchanged epoch at apply time
+	// proves the snapshot is still exact. The epoch is deliberately absent
+	// from CanonicalState: it is a change detector, not state — two grids
+	// with equal canonical state behave identically regardless of how many
+	// mutations produced them (every apply re-validates through Book).
+	epoch uint64
 }
 
 // New creates an idle grid over the pool.
@@ -87,6 +95,12 @@ func (g *Grid) Pool() *resource.Pool { return g.pool }
 // Now returns the grid's current time (the left edge of the scheduling
 // horizon).
 func (g *Grid) Now() sim.Time { return g.now }
+
+// Epoch returns the grid's mutation counter. It increments on every
+// successful state change — booking, removal, cancellation, node failure or
+// recovery, revocation, and clock advance — and never decrements. A snapshot
+// taken at epoch E is exact for as long as Epoch() == E.
+func (g *Grid) Epoch() uint64 { return g.epoch }
 
 // Book reserves the task's interval on its node. Booking fails when the
 // node is unknown, the span is empty, it starts before the current time, or
@@ -122,6 +136,7 @@ func (g *Grid) Book(t Task) error {
 	list[i] = t
 	g.booked[t.Node] = list
 	g.storeBook(node, list, i)
+	g.epoch++
 	return nil
 }
 
@@ -207,6 +222,7 @@ func (g *Grid) remove(t Task) {
 		if b.Name == t.Name && b.Span == t.Span && b.Local == t.Local {
 			g.booked[t.Node] = append(list[:i], list[i+1:]...)
 			g.storeUnbook(g.pool.Node(t.Node), t.Span)
+			g.epoch++
 			return
 		}
 	}
@@ -230,6 +246,7 @@ func (g *Grid) Advance(to sim.Time) error {
 		g.booked[id] = kept
 	}
 	g.storeAdvance(to)
+	g.epoch++
 	return nil
 }
 

@@ -27,6 +27,20 @@ const (
 	ActRecover
 	// ActRevoke reclaims the universe's RevokeSpan on node Arg.
 	ActRevoke
+	// ActEnqueue queues the service's periodic tick evaluation without
+	// opening a round — the timer firing while the loop is busy elsewhere.
+	// Service universes only.
+	ActEnqueue
+	// ActEvaluate opens an evaluation round: BeginRound (consume the due
+	// evaluations, freeze the batch) followed by Evaluate (plan against the
+	// epoch-stamped snapshot). Service universes only; the service-mode
+	// counterpart of ActPlan.
+	ActEvaluate
+	// ActApply closes the open round: the serial applier re-validates the
+	// pending plan window by window, requeues stale rejections with backoff,
+	// and Finish advances the clock. Service universes only; the counterpart
+	// of ActCommit.
+	ActApply
 )
 
 // Action is one transition: a kind plus a job index (ActSubmit) or node
@@ -54,6 +68,12 @@ func (a Action) Render(u *Universe) string {
 		return "recover " + u.Nodes[a.Arg].Name
 	case ActRevoke:
 		return "revoke " + u.Nodes[a.Arg].Name
+	case ActEnqueue:
+		return "enqueue"
+	case ActEvaluate:
+		return "evaluate"
+	case ActApply:
+		return "apply"
 	default:
 		return fmt.Sprintf("action(%d,%d)", int(a.Kind), a.Arg)
 	}
@@ -82,7 +102,7 @@ func ParseScript(u *Universe, script string) ([]Action, error) {
 		fields := strings.Fields(line)
 		var a Action
 		switch fields[0] {
-		case "plan", "commit", "tick":
+		case "plan", "commit", "tick", "enqueue", "evaluate", "apply":
 			if len(fields) != 1 {
 				return nil, fmt.Errorf("mc: line %d: %q takes no argument", ln+1, fields[0])
 			}
@@ -93,6 +113,12 @@ func ParseScript(u *Universe, script string) ([]Action, error) {
 				a.Kind = ActCommit
 			case "tick":
 				a.Kind = ActTick
+			case "enqueue":
+				a.Kind = ActEnqueue
+			case "evaluate":
+				a.Kind = ActEvaluate
+			case "apply":
+				a.Kind = ActApply
 			}
 		case "submit":
 			if len(fields) != 2 {

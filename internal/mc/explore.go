@@ -76,6 +76,8 @@ type node struct {
 	trace     []Action
 	depth     int
 	open      bool
+	// enq marks a pending explicit tick evaluation (service universes).
+	enq       bool
 	submitted uint16
 	failed    uint16
 }
@@ -89,7 +91,16 @@ func (u *Universe) enabled(n node) []Action {
 			out = append(out, Action{Kind: ActSubmit, Arg: j})
 		}
 	}
-	if n.open {
+	if u.Service {
+		if n.open {
+			out = append(out, Action{Kind: ActApply})
+		} else {
+			out = append(out, Action{Kind: ActEvaluate})
+		}
+		if !n.enq {
+			out = append(out, Action{Kind: ActEnqueue})
+		}
+	} else if n.open {
 		out = append(out, Action{Kind: ActCommit})
 	} else {
 		out = append(out, Action{Kind: ActPlan})
@@ -108,7 +119,7 @@ func (u *Universe) enabled(n node) []Action {
 
 // child derives the successor's metadata after action a.
 func (n node) child(a Action, trace []Action) node {
-	c := node{trace: trace, depth: n.depth + 1, open: n.open,
+	c := node{trace: trace, depth: n.depth + 1, open: n.open, enq: n.enq,
 		submitted: n.submitted, failed: n.failed}
 	switch a.Kind {
 	case ActSubmit:
@@ -116,6 +127,13 @@ func (n node) child(a Action, trace []Action) node {
 	case ActPlan:
 		c.open = true
 	case ActCommit:
+		c.open = false
+	case ActEnqueue:
+		c.enq = true
+	case ActEvaluate:
+		c.open = true
+		c.enq = false
+	case ActApply:
 		c.open = false
 	case ActFail:
 		c.failed |= 1 << a.Arg

@@ -21,8 +21,20 @@ type Instance struct {
 	grid  *gridsim.Grid
 	sched *metasched.Scheduler
 	audit *fault.Audit
-	// it is the open plan/apply iteration, nil between iterations.
+	// it is the open plan/apply iteration, nil between iterations. Batch
+	// universes only.
 	it *metasched.Iteration
+	// svc is the continuous-service wrapper, nil in batch universes. When
+	// set, submits and fault events route through the service so each
+	// enqueues its evaluation, and the round below replaces it.
+	svc *metasched.Service
+	// round is the open evaluate/apply round, nil between rounds. Service
+	// universes only.
+	round *metasched.Round
+	// tickQueued marks a pending explicit tick evaluation (ActEnqueue);
+	// cleared when ActEvaluate consumes the queue. Mirrored by the
+	// explorer's frontier metadata.
+	tickQueued bool
 	// submitted marks jobs already handed to the scheduler.
 	submitted []bool
 	// events are the fault events applied so far, stamped with the clock
@@ -59,7 +71,15 @@ func NewInstance(u *Universe, mut Mutation, w io.Writer) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	var svc *metasched.Service
+	if u.Service {
+		svc, err = metasched.NewService(sched, metasched.ServiceConfig{})
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Instance{
+		svc:       svc,
 		u:         u,
 		grid:      grid,
 		sched:     sched,
@@ -87,9 +107,17 @@ func (in *Instance) Feasible(a Action) bool {
 	case ActSubmit:
 		return !in.submitted[a.Arg]
 	case ActPlan:
-		return in.it == nil
+		return in.svc == nil && in.it == nil
 	case ActCommit:
-		return in.it != nil
+		return in.svc == nil && in.it != nil
+	case ActEnqueue:
+		// A second explicit tick eval would coalesce into the pending one —
+		// a self-loop the explorer has no reason to expand.
+		return in.svc != nil && !in.tickQueued
+	case ActEvaluate:
+		return in.svc != nil && in.round == nil
+	case ActApply:
+		return in.svc != nil && in.round != nil
 	case ActTick:
 		return true
 	case ActFail, ActRevoke:
@@ -107,10 +135,48 @@ func (in *Instance) Feasible(a Action) bool {
 func (in *Instance) Apply(a Action) error {
 	switch a.Kind {
 	case ActSubmit:
-		if err := in.sched.Submit(in.u.buildJob(a.Arg)); err != nil {
+		j := in.u.buildJob(a.Arg)
+		var err error
+		if in.svc != nil {
+			err = in.svc.Submit(j)
+		} else {
+			err = in.sched.Submit(j)
+		}
+		if err != nil {
 			return err
 		}
 		in.submitted[a.Arg] = true
+	case ActEnqueue:
+		in.svc.EnqueueTick()
+		in.tickQueued = true
+	case ActEvaluate:
+		r, err := in.svc.BeginRound()
+		if err != nil {
+			return err
+		}
+		if err := r.Evaluate(); err != nil {
+			return err
+		}
+		in.round = r
+		// BeginRound consumed every due evaluation; tick evals are due
+		// immediately, so a pending explicit tick never survives a round.
+		in.tickQueued = false
+	case ActApply:
+		if in.mut == MutBlindApply {
+			in.blindApply()
+		}
+		if err := in.round.Apply(); err != nil {
+			return err
+		}
+		rep, err := in.round.Finish()
+		if err != nil {
+			return err
+		}
+		in.round = nil
+		fault.WriteIterationReport(in.w, rep)
+		for _, p := range rep.Placed {
+			in.audit.JobRescheduled(p.Job.Name)
+		}
 	case ActPlan:
 		it, err := in.sched.BeginIteration()
 		if err != nil {
@@ -147,9 +213,33 @@ func (in *Instance) Apply(a Action) error {
 	return in.check()
 }
 
+// blindApply seeds the MutBlindApply bug: if the open round's pending plan
+// is stale, its placements are force-booked exactly as a non-re-validating
+// applier would write them — no overlap, clock, or failed-node checks, no
+// owner credit, no store maintenance. The real apply still runs afterwards,
+// so a window the grid would have accepted books twice.
+func (in *Instance) blindApply() {
+	p := in.round.Plan()
+	if !p.Stale(in.grid.Epoch()) {
+		return
+	}
+	for _, ch := range p.Choices {
+		for _, pl := range ch.Window.Placements {
+			in.grid.ForceBook(gridsim.Task{
+				Name: ch.Job.Name,
+				Node: pl.Source.Node.ID,
+				Span: pl.Used,
+				Cost: pl.Cost(),
+			})
+		}
+	}
+}
+
 // applyEvent injects one environment event through the scheduler's fault
 // hooks with the auditor's before/after protocol, mirroring fault.Session
-// line for line so session-compatible traces replay byte-identically.
+// line for line so session-compatible traces replay byte-identically. In
+// service mode the hooks route through the service so each event also
+// enqueues its evaluation.
 func (in *Instance) applyEvent(a Action) error {
 	node := in.u.Nodes[a.Arg]
 	id := resource.NodeID(a.Arg)
@@ -168,7 +258,11 @@ func (in *Instance) applyEvent(a Action) error {
 			byDomain, _ := in.grid.OwnerIncome()
 			refundBase = float64(byDomain[node.Domain])
 		}
-		requeued, err = in.sched.HandleNodeFailure(node.Name)
+		if in.svc != nil {
+			requeued, err = in.svc.HandleNodeFailure(node.Name)
+		} else {
+			requeued, err = in.sched.HandleNodeFailure(node.Name)
+		}
 		if err == nil && in.mut == MutDoubleRefund {
 			byDomain, _ := in.grid.OwnerIncome()
 			if refund := refundBase - float64(byDomain[node.Domain]); refund > 0 {
@@ -179,7 +273,11 @@ func (in *Instance) applyEvent(a Action) error {
 		}
 	case ActRecover:
 		ev.Kind = fault.Recover
-		err = in.sched.HandleNodeRecovery(node.Name)
+		if in.svc != nil {
+			err = in.svc.HandleNodeRecovery(node.Name)
+		} else {
+			err = in.sched.HandleNodeRecovery(node.Name)
+		}
 		if err == nil && in.mut == MutResurrect {
 			for _, t := range in.zombies[a.Arg] {
 				in.grid.ForceBook(t)
@@ -189,7 +287,11 @@ func (in *Instance) applyEvent(a Action) error {
 	case ActRevoke:
 		ev.Kind = fault.Revoke
 		ev.Span = in.u.RevokeSpan
-		requeued, err = in.sched.HandleRevocation(node.Name, in.u.RevokeSpan)
+		if in.svc != nil {
+			requeued, err = in.svc.HandleRevocation(node.Name, in.u.RevokeSpan)
+		} else {
+			requeued, err = in.sched.HandleRevocation(node.Name, in.u.RevokeSpan)
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("mc: applying %v: %w", ev, err)
@@ -235,6 +337,12 @@ func (in *Instance) Hash() uint64 {
 	if in.it != nil {
 		in.it.CanonicalState(&b)
 	}
+	if in.svc != nil {
+		in.svc.CanonicalState(&b)
+	}
+	if in.round != nil {
+		in.round.Iteration().CanonicalState(&b)
+	}
 	for _, k := range in.audit.CancelledKeys() {
 		b.WriteString("watch ")
 		b.WriteString(k)
@@ -262,6 +370,18 @@ func (in *Instance) Drain(maxIter int) error {
 			return err
 		}
 	}
+	if in.round != nil {
+		if err := in.round.Apply(); err != nil {
+			return err
+		}
+		if _, err := in.round.Finish(); err != nil {
+			return err
+		}
+		in.round = nil
+		if err := in.check(); err != nil {
+			return err
+		}
+	}
 	for i := range in.u.Nodes {
 		if in.grid.NodeFailed(resource.NodeID(i)) {
 			if err := in.applyEvent(Action{Kind: ActRecover, Arg: i}); err != nil {
@@ -273,7 +393,16 @@ func (in *Instance) Drain(maxIter int) error {
 		}
 	}
 	for i := 0; i < maxIter && in.sched.QueueLength() > 0; i++ {
-		rep, err := in.sched.RunIteration()
+		var rep *metasched.IterationReport
+		var err error
+		if in.svc != nil {
+			// Service drain: full tick rounds, so backoff-gated requeue
+			// evaluations become due as the clock advances.
+			rep, err = in.svc.Tick()
+			in.tickQueued = false
+		} else {
+			rep, err = in.sched.RunIteration()
+		}
 		if err != nil {
 			return err
 		}

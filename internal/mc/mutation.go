@@ -22,6 +22,13 @@ const (
 	// replays its old ledger" bug. Caught by the resurrection and
 	// event-adds-capacity invariants.
 	MutResurrect
+	// MutBlindApply makes the service applier skip re-validation: when the
+	// pending plan is stale at ActApply, the plan's placements are written
+	// to the grid as-is (bypassing every commit check) before the real apply
+	// runs — the optimistic-concurrency bug the Plan epoch exists to
+	// prevent. Caught by the double-booking, failed-node-reservation, and
+	// vacant-store-coherence invariants. Service universes only.
+	MutBlindApply
 )
 
 // String names the mutation; also the CLI flag syntax.
@@ -33,6 +40,8 @@ func (m Mutation) String() string {
 		return "double-refund"
 	case MutResurrect:
 		return "resurrect"
+	case MutBlindApply:
+		return "blind-apply"
 	default:
 		return fmt.Sprintf("mutation(%d)", int(m))
 	}
@@ -47,7 +56,9 @@ func ParseMutation(s string) (Mutation, error) {
 		return MutDoubleRefund, nil
 	case "resurrect":
 		return MutResurrect, nil
+	case "blind-apply":
+		return MutBlindApply, nil
 	default:
-		return MutNone, fmt.Errorf("mc: unknown mutation %q (want none, double-refund, resurrect)", s)
+		return MutNone, fmt.Errorf("mc: unknown mutation %q (want none, double-refund, resurrect, blind-apply)", s)
 	}
 }

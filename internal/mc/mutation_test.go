@@ -13,16 +13,26 @@ import (
 func TestMutationsCaught(t *testing.T) {
 	cases := []struct {
 		mutation Mutation
+		// service runs the mutation in the service universe (blind-apply
+		// only fires at ActApply).
+		service bool
 		// want is a substring of the violation the audit must attribute
 		// the bug to.
 		want string
+		// maxLen bounds the minimized counterexample; 0 means unchecked.
+		maxLen int
 	}{
-		{MutDoubleRefund, "negative"},
-		{MutResurrect, "must only remove capacity"},
+		{MutDoubleRefund, false, "negative", 0},
+		{MutResurrect, false, "must only remove capacity", 0},
+		// The applier that skips re-validation writes a stale plan's
+		// placements blind; the checker must pin it within six actions
+		// (submit, evaluate, a mutating event, apply — plus slack).
+		{MutBlindApply, true, "", 6},
 	}
 	for _, tc := range cases {
 		t.Run(tc.mutation.String(), func(t *testing.T) {
 			u := Tiny()
+			u.Service = tc.service
 			opts := Options{MaxDepth: 6, MaxStates: 40000, Mutation: tc.mutation}
 			res, err := Explore(u, opts)
 			if err != nil {
@@ -41,6 +51,10 @@ func TestMutationsCaught(t *testing.T) {
 			}
 			if !cex.Minimized {
 				t.Fatal("counterexample not minimized")
+			}
+			if tc.maxLen > 0 && len(cex.Trace) > tc.maxLen {
+				t.Fatalf("counterexample has %d actions, want <= %d:\n%s",
+					len(cex.Trace), tc.maxLen, cex.Script(u))
 			}
 
 			// 1-minimality: every remaining action is necessary.

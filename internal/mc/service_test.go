@@ -1,0 +1,235 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+)
+
+// serviceTiny is the Tiny universe driven through the continuous-service
+// event loop.
+func serviceTiny() *Universe {
+	u := Tiny()
+	u.Service = true
+	return u
+}
+
+// TestExploreServiceTinyClean sweeps the tiny service universe: every
+// interleaving of submits, enqueue/evaluate/apply rounds, ticks, failures,
+// recoveries, and revocations must satisfy the full audit safety set — the
+// eval queue, the epoch-stamped planner, and the re-validating serial
+// applier add service state but never an unsafe schedule.
+func TestExploreServiceTinyClean(t *testing.T) {
+	depth, states := 6, 40000
+	if testing.Short() {
+		depth, states = 4, 4000
+	}
+	u := serviceTiny()
+	res, err := Explore(u, Options{
+		MaxDepth:         depth,
+		MaxStates:        states,
+		Liveness:         true,
+		LivenessEvery:    8,
+		DeterminismEvery: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cex != nil {
+		t.Fatalf("violation in clean service universe:\n%s", res.Cex.Script(u))
+	}
+	if res.States < 100 || res.Transitions <= res.States {
+		t.Fatalf("implausibly small sweep: %+v", res)
+	}
+	if res.DeterminismChecks == 0 {
+		t.Fatal("determinism sampling never ran")
+	}
+	t.Logf("service tiny sweep: %d states, %d transitions, deepest %d, truncated %t, liveness %d, determinism %d",
+		res.States, res.Transitions, res.Deepest, res.Truncated, res.LivenessChecks, res.DeterminismChecks)
+}
+
+// TestExploreTwoShardServiceClean is the federated service sweep: the eval
+// actions interleave with fail/recover/revoke across the shard boundary, and
+// every reached state must pass the audit set including per-shard store
+// coherence. This is the CI 2-shard sweep's service variant.
+func TestExploreTwoShardServiceClean(t *testing.T) {
+	depth, states := 6, 40000
+	if testing.Short() {
+		depth, states = 4, 4000
+	}
+	u := TwoShard()
+	u.Service = true
+	res, err := Explore(u, Options{
+		MaxDepth:         depth,
+		MaxStates:        states,
+		Liveness:         true,
+		LivenessEvery:    8,
+		DeterminismEvery: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cex != nil {
+		t.Fatalf("violation in 2-shard service universe:\n%s", res.Cex.Script(u))
+	}
+	if res.States < 100 || res.Transitions <= res.States {
+		t.Fatalf("implausibly small sweep: %+v", res)
+	}
+	t.Logf("2-shard service sweep: %d states, %d transitions, deepest %d, truncated %t",
+		res.States, res.Transitions, res.Deepest, res.Truncated)
+}
+
+// TestServiceMatchesBatch pins the determinism contract inside the checker:
+// replaying a trace against the batch universe and its service twin — with
+// plan/commit mapped to evaluate/apply — must reach byte-identical grid and
+// scheduler canonical states. The eval queue is extra bookkeeping, never a
+// scheduling input.
+func TestServiceMatchesBatch(t *testing.T) {
+	batch := []Action{
+		{Kind: ActSubmit, Arg: 0}, {Kind: ActSubmit, Arg: 1}, {Kind: ActSubmit, Arg: 2},
+		{Kind: ActPlan}, {Kind: ActCommit},
+		{Kind: ActFail, Arg: 1}, {Kind: ActTick},
+		{Kind: ActPlan}, {Kind: ActCommit},
+		{Kind: ActRevoke, Arg: 0}, {Kind: ActRecover, Arg: 1},
+		{Kind: ActPlan}, {Kind: ActCommit},
+	}
+	service := make([]Action, len(batch))
+	for i, a := range batch {
+		switch a.Kind {
+		case ActPlan:
+			a.Kind = ActEvaluate
+		case ActCommit:
+			a.Kind = ActApply
+		}
+		service[i] = a
+	}
+	for _, shards := range []int{0, 2} {
+		ub, us := Default(), Default()
+		ub.Shards, us.Shards = shards, shards
+		us.Service = true
+		inB, err := Replay(ub, MutNone, batch, nil)
+		if err != nil {
+			t.Fatalf("shards=%d batch: %v", shards, err)
+		}
+		inS, err := Replay(us, MutNone, service, nil)
+		if err != nil {
+			t.Fatalf("shards=%d service: %v", shards, err)
+		}
+		var sb, ss strings.Builder
+		inB.grid.CanonicalState(&sb)
+		inB.sched.CanonicalState(&sb)
+		inS.grid.CanonicalState(&ss)
+		inS.sched.CanonicalState(&ss)
+		if sb.String() != ss.String() {
+			t.Fatalf("shards=%d: service replay diverged from batch:\n--- batch ---\n%s\n--- service ---\n%s",
+				shards, sb.String(), ss.String())
+		}
+	}
+}
+
+// TestServiceScriptRoundTrip pins Render/ParseScript as inverses over the
+// service action kinds.
+func TestServiceScriptRoundTrip(t *testing.T) {
+	u := serviceTiny()
+	trace := []Action{
+		{Kind: ActSubmit, Arg: 0}, {Kind: ActEnqueue}, {Kind: ActEvaluate},
+		{Kind: ActFail, Arg: 1}, {Kind: ActApply}, {Kind: ActRecover, Arg: 1},
+		{Kind: ActTick}, {Kind: ActEvaluate}, {Kind: ActApply},
+	}
+	script := RenderTrace(u, trace)
+	back, err := ParseScript(u, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trace) {
+		t.Fatalf("round trip changed length: %d -> %d", len(trace), len(back))
+	}
+	for i := range trace {
+		if back[i] != trace[i] {
+			t.Fatalf("action %d: %v -> %v", i, trace[i], back[i])
+		}
+	}
+	for _, bad := range []string{"enqueue now", "evaluate j1", "apply n1"} {
+		if _, err := ParseScript(u, bad); err == nil {
+			t.Errorf("ParseScript(%q) accepted", bad)
+		}
+	}
+}
+
+// TestServiceFeasibleMatchesEnabled cross-checks the service frontier
+// metadata against the live instance on a walk covering every service
+// action: the explorer's metadata-derived action set must agree with
+// Instance.Feasible at every step, and batch plan/commit must stay off.
+func TestServiceFeasibleMatchesEnabled(t *testing.T) {
+	u := serviceTiny()
+	trace := []Action{
+		{Kind: ActSubmit, Arg: 0}, {Kind: ActEnqueue}, {Kind: ActEvaluate},
+		{Kind: ActFail, Arg: 1}, {Kind: ActApply}, {Kind: ActEnqueue},
+		{Kind: ActRecover, Arg: 1}, {Kind: ActEvaluate}, {Kind: ActApply},
+		{Kind: ActTick}, {Kind: ActSubmit, Arg: 1},
+	}
+	in, err := NewInstance(u, MutNone, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := node{}
+	all := func() []Action {
+		var out []Action
+		for j := range u.Jobs {
+			out = append(out, Action{Kind: ActSubmit, Arg: j})
+		}
+		out = append(out,
+			Action{Kind: ActPlan}, Action{Kind: ActCommit}, Action{Kind: ActTick},
+			Action{Kind: ActEnqueue}, Action{Kind: ActEvaluate}, Action{Kind: ActApply})
+		for i := range u.Nodes {
+			out = append(out, Action{Kind: ActFail, Arg: i},
+				Action{Kind: ActRecover, Arg: i}, Action{Kind: ActRevoke, Arg: i})
+		}
+		return out
+	}
+	for step, a := range trace {
+		enabled := map[Action]bool{}
+		for _, e := range u.enabled(n) {
+			enabled[e] = true
+		}
+		for _, cand := range all() {
+			if got := in.Feasible(cand); got != enabled[cand] {
+				t.Fatalf("step %d: Feasible(%s) = %t, enabled = %t",
+					step, cand.Render(u), got, enabled[cand])
+			}
+		}
+		if err := in.Apply(a); err != nil {
+			t.Fatal(err)
+		}
+		full := make([]Action, step+1)
+		copy(full, trace[:step+1])
+		n = n.child(a, full)
+	}
+}
+
+// TestServiceDrain pins the liveness machinery in service mode: a trace that
+// leaves an open round, a failed node, and backoff-gated requeues must still
+// drain to an empty queue through fault-free tick rounds.
+func TestServiceDrain(t *testing.T) {
+	trace := []Action{
+		{Kind: ActSubmit, Arg: 0}, {Kind: ActSubmit, Arg: 1},
+		{Kind: ActEvaluate}, {Kind: ActFail, Arg: 0}, {Kind: ActFail, Arg: 1},
+	}
+	in, err := Replay(serviceTiny(), MutNone, trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = in.Drain(0)
+	if err == nil || !strings.Contains(err.Error(), "liveness violated") {
+		t.Fatalf("Drain(0) = %v, want liveness violation", err)
+	}
+	in2, err := Replay(serviceTiny(), MutNone, trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.Drain(24); err != nil {
+		t.Fatal(err)
+	}
+	if n := in2.sched.QueueLength(); n != 0 {
+		t.Fatalf("queue not drained: %d jobs left", n)
+	}
+}

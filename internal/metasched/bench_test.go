@@ -19,7 +19,7 @@ import (
 // horizon, so every node contributes ~100 vacant fragments. It returns the
 // size of the vacant list at the final horizon so the benchmark can report
 // the scale it actually ran at.
-func benchStoreSession(b *testing.B, seed uint64, rebuild bool, reg *metrics.Registry) int {
+func benchStoreSession(b *testing.B, seed uint64, rebuild, service bool, reg *metrics.Registry) int {
 	b.Helper()
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
@@ -59,6 +59,13 @@ func benchStoreSession(b *testing.B, seed uint64, rebuild bool, reg *metrics.Reg
 	if err != nil {
 		b.Fatal(err)
 	}
+	var svc *metasched.Service
+	if service {
+		svc, err = metasched.NewService(sched, metasched.ServiceConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 	for i := 0; i < 8; i++ {
 		j := &job.Job{
 			Name:     fmt.Sprintf("job%d", i+1),
@@ -70,12 +77,22 @@ func benchStoreSession(b *testing.B, seed uint64, rebuild bool, reg *metrics.Reg
 				MaxPrice:       pricing.BasePrice(1.5) * sim.Money(rng.FloatBetween(1.0, 1.4)),
 			},
 		}
-		if err := sched.Submit(j); err != nil {
+		if svc != nil {
+			err = svc.Submit(j)
+		} else {
+			err = sched.Submit(j)
+		}
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	for it := 0; it < 3 && sched.QueueLength() > 0; it++ {
-		if _, err := sched.RunIteration(); err != nil {
+		if svc != nil {
+			_, err = svc.Tick()
+		} else {
+			_, err = sched.RunIteration()
+		}
+		if err != nil {
 			b.Fatalf("seed %d iteration %d: %v", seed, it, err)
 		}
 	}
@@ -108,7 +125,7 @@ func BenchmarkLiveStoreSession(b *testing.B) {
 			slots := 0
 			for i := 0; i < b.N; i++ {
 				reg := metrics.New()
-				slots = benchStoreSession(b, uint64(i%10+1), mode.rebuild, reg)
+				slots = benchStoreSession(b, uint64(i%10+1), mode.rebuild, false, reg)
 				if mode.rebuild {
 					continue
 				}
@@ -121,6 +138,49 @@ func BenchmarkLiveStoreSession(b *testing.B) {
 				}
 				if n := snap.Counter("alloc/AMP/index/rebuilds_total"); n != 0 {
 					b.Fatalf("alloc/AMP/index/rebuilds_total = %d, want 0: the search must adopt the store's index", n)
+				}
+			}
+			b.ReportMetric(float64(slots), "slots/op")
+		})
+	}
+}
+
+// BenchmarkServiceSession is BenchmarkLiveStoreSession's service-mode twin:
+// the identical 1000-node / ~100k-slot session driven through the
+// continuous-service event loop (Submit and Tick enqueue evaluations; each
+// round plans against the epoch-stamped snapshot and applies serially)
+// instead of batch RunIteration. The overhead of the eval queue and the
+// Plan bookkeeping is the difference between the two benchmarks; the
+// schedules themselves are byte-identical. The service sub-benchmark also
+// enforces the event-loop contract at scale — every round consumed its due
+// evaluations (the queue ends empty) and no plan was rejected on the
+// undisturbed run. CI publishes the results as the BENCH_service.json
+// artifact.
+func BenchmarkServiceSession(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		service bool
+	}{
+		{"service", true},
+		{"batch", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			slots := 0
+			for i := 0; i < b.N; i++ {
+				reg := metrics.New()
+				slots = benchStoreSession(b, uint64(i%10+1), false, mode.service, reg)
+				if !mode.service {
+					continue
+				}
+				snap := reg.Snapshot()
+				if n := snap.Counter("metasched/service/rounds_total"); n == 0 {
+					b.Fatal("metasched/service/rounds_total = 0: the service loop never ran")
+				}
+				if n := snap.Gauge("metasched/service/eval_queue_depth"); n != 0 {
+					b.Fatalf("metasched/service/eval_queue_depth = %d, want 0 after the session", n)
+				}
+				if n := snap.Counter("metasched/plan/windows_stale_total"); n != 0 {
+					b.Fatalf("metasched/plan/windows_stale_total = %d, want 0 on an undisturbed run", n)
 				}
 			}
 			b.ReportMetric(float64(slots), "slots/op")

@@ -35,6 +35,17 @@ import (
 // uses this to set Shards without widening the signature again.
 func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear, rebuild bool, reg *metrics.Registry, opts ...func(*metasched.Config)) string {
 	t.Helper()
+	return sessionTranscript(t, seed, algo, policy, parallelism, useDense, useLinear, rebuild, reg, false, opts...)
+}
+
+// sessionTranscript is the shared body of diffSessionTranscript and the
+// service differential: the same seeded scenario driven either through batch
+// RunIteration calls or — with service set — through a metasched.Service
+// (Submit, Tick and HandleNodeFailure routed via the event loop). The
+// determinism contract of the continuous service is exactly that the two
+// render byte-identical transcripts.
+func sessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, policy metasched.Policy, parallelism int, useDense, useLinear, rebuild bool, reg *metrics.Registry, service bool, opts ...func(*metasched.Config)) string {
+	t.Helper()
 	rng := sim.NewRNG(seed)
 	pricing := resource.PaperPricing()
 	nodes := make([]*resource.Node, 0, 12)
@@ -86,6 +97,30 @@ func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, poli
 	if err != nil {
 		t.Fatal(err)
 	}
+	var svc *metasched.Service
+	if service {
+		if svc, err = metasched.NewService(sched, metasched.ServiceConfig{Workers: parallelism}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit := func(j *job.Job) error {
+		if svc != nil {
+			return svc.Submit(j)
+		}
+		return sched.Submit(j)
+	}
+	runIteration := func() (*metasched.IterationReport, error) {
+		if svc != nil {
+			return svc.Tick()
+		}
+		return sched.RunIteration()
+	}
+	failNode := func(label string) ([]string, error) {
+		if svc != nil {
+			return svc.HandleNodeFailure(label)
+		}
+		return sched.HandleNodeFailure(label)
+	}
 	for i := 0; i < 8; i++ {
 		j := &job.Job{
 			Name:     fmt.Sprintf("job%d", i+1),
@@ -97,14 +132,14 @@ func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, poli
 				MaxPrice:       pricing.BasePrice(1.5) * sim.Money(rng.FloatBetween(1.0, 1.4)),
 			},
 		}
-		if err := sched.Submit(j); err != nil {
+		if err := submit(j); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	var b strings.Builder
 	for it := 0; it < 10 && sched.QueueLength() > 0; it++ {
-		rep, err := sched.RunIteration()
+		rep, err := runIteration()
 		if err != nil {
 			t.Fatalf("seed %d iteration %d: %v", seed, it, err)
 		}
@@ -115,7 +150,7 @@ func diffSessionTranscript(t *testing.T, seed uint64, algo alloc.Algorithm, poli
 		}
 		fmt.Fprintf(&b, "  postponed=%v dropped=%v\n", rep.Postponed, rep.Dropped)
 		if it == 1 && seed%5 == 0 {
-			requeued, err := sched.HandleNodeFailure("n3")
+			requeued, err := failNode("n3")
 			if err != nil {
 				t.Fatalf("seed %d: node failure: %v", seed, err)
 			}

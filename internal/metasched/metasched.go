@@ -325,6 +325,13 @@ func (s *Scheduler) Submit(j *job.Job) error {
 	if _, ok := s.placed[j.Name]; ok {
 		return fmt.Errorf("metasched: job %q already placed", j.Name)
 	}
+	if reason, ok := s.droppedJobs[j.Name]; ok {
+		// A terminal drop is terminal for the name too: re-admitting it
+		// would leave the job counted both queued and dropped, breaking the
+		// conservation ledger (submitted = queued + placed + dropped) the
+		// auditor checks. FuzzEvalOrder found exactly this interleaving.
+		return fmt.Errorf("metasched: job %q was terminally dropped (%s)", j.Name, reason)
+	}
 	s.queue = append(s.queue, &queued{job: j, submitTick: s.grid.Now()})
 	if _, ok := s.firstSubmit[j.Name]; !ok {
 		s.firstSubmit[j.Name] = s.grid.Now()

@@ -37,6 +37,12 @@ type schedMetrics struct {
 	phaseSearchSlots    *metrics.Histogram
 	phaseOptimizePoints *metrics.Histogram
 	phaseCommitWindows  *metrics.Histogram
+	// Plan-apply outcomes: fast-path applies whose snapshot epoch was still
+	// current, re-validated applies whose snapshot had been overtaken, and
+	// individual windows the commit rejected as stale.
+	planFastPath    *metrics.Counter
+	planRevalidated *metrics.Counter
+	planStaleWins   *metrics.Counter
 	// Retry-policy outcomes for environment-cancelled jobs.
 	retryRequeues     *metrics.Counter
 	retryBackoffTicks *metrics.Histogram
@@ -73,6 +79,9 @@ func newSchedMetrics(r *metrics.Registry) *schedMetrics {
 		phaseSearchSlots:    r.Histogram("metasched/phase/search_slots_examined", metrics.ExpBuckets(32, 2, 10)),
 		phaseOptimizePoints: r.Histogram("metasched/phase/optimize_frontier_points", metrics.ExpBuckets(16, 4, 7)),
 		phaseCommitWindows:  r.Histogram("metasched/phase/commit_windows", metrics.LinearBuckets(1, 1, 8)),
+		planFastPath:        r.Counter("metasched/plan/applied_fastpath_total"),
+		planRevalidated:     r.Counter("metasched/plan/applied_revalidated_total"),
+		planStaleWins:       r.Counter("metasched/plan/windows_stale_total"),
 		retryRequeues:       r.Counter("metasched/retry/requeues_total"),
 		retryBackoffTicks:   r.Histogram("metasched/retry/backoff_ticks", metrics.ExpBuckets(25, 2, 9)),
 		retryRelaxations:    r.Counter("metasched/retry/relaxations_total"),
@@ -174,11 +183,117 @@ func (m *schedMetrics) retryDropped(deadline bool) {
 	}
 }
 
+// planApplied records which apply path a non-nil plan took: stale means the
+// grid mutated since the plan's snapshot and every window was re-validated;
+// otherwise the epoch proved the snapshot exact (fast path).
+func (m *schedMetrics) planApplied(stale bool) {
+	if m == nil {
+		return
+	}
+	if stale {
+		m.planRevalidated.Inc()
+	} else {
+		m.planFastPath.Inc()
+	}
+}
+
+// planWindowStale counts one chosen window rejected by the commit.
+func (m *schedMetrics) planWindowStale() {
+	if m == nil {
+		return
+	}
+	m.planStaleWins.Inc()
+}
+
 func (m *schedMetrics) planInfeasible() {
 	if m == nil {
 		return
 	}
 	m.infeasible.Inc()
+}
+
+// serviceMetrics holds the continuous-service instruments under the
+// "metasched/service/" prefix, following the same nil-safe contract as
+// schedMetrics: nil when observability is off, and never influencing a
+// scheduling decision (the service differential pins transcripts with
+// metrics on and off byte-identical).
+type serviceMetrics struct {
+	evalsEnqueued  *metrics.Counter
+	evalsCoalesced *metrics.Counter
+	evalRequeues   *metrics.Counter
+	rounds         *metrics.Counter
+	roundEvals     *metrics.Histogram
+	queueGauge     *metrics.Gauge
+	queueMax       *metrics.Gauge
+	lagTicks       *metrics.Histogram
+	requeueBackoff *metrics.Histogram
+}
+
+// newServiceMetrics resolves the service instruments; nil registry → nil.
+func newServiceMetrics(r *metrics.Registry) *serviceMetrics {
+	if r == nil {
+		return nil
+	}
+	return &serviceMetrics{
+		evalsEnqueued:  r.Counter("metasched/service/evals_enqueued_total"),
+		evalsCoalesced: r.Counter("metasched/service/evals_coalesced_total"),
+		evalRequeues:   r.Counter("metasched/service/eval_requeues_total"),
+		rounds:         r.Counter("metasched/service/rounds_total"),
+		roundEvals:     r.Histogram("metasched/service/round_evals", metrics.LinearBuckets(1, 1, 8)),
+		queueGauge:     r.Gauge("metasched/service/eval_queue_depth"),
+		queueMax:       r.Gauge("metasched/service/eval_queue_depth_max"),
+		lagTicks:       r.Histogram("metasched/service/eval_lag_ticks", metrics.ExpBuckets(25, 2, 9)),
+		requeueBackoff: r.Histogram("metasched/service/requeue_backoff_ticks", metrics.ExpBuckets(25, 2, 9)),
+	}
+}
+
+func (m *serviceMetrics) enqueued() {
+	if m == nil {
+		return
+	}
+	m.evalsEnqueued.Inc()
+}
+
+func (m *serviceMetrics) coalesced() {
+	if m == nil {
+		return
+	}
+	m.evalsCoalesced.Inc()
+}
+
+// depth tracks the current and high-water queue depth after any change.
+func (m *serviceMetrics) depth(n int) {
+	if m == nil {
+		return
+	}
+	m.queueGauge.Set(int64(n))
+	m.queueMax.SetMax(int64(n))
+}
+
+// consumed records one evaluation leaving the queue after lag sim-ticks.
+func (m *serviceMetrics) consumed(lag sim.Duration) {
+	if m == nil {
+		return
+	}
+	m.lagTicks.Observe(int64(lag))
+}
+
+// roundStarted records a round consuming n evaluations.
+func (m *serviceMetrics) roundStarted(n int) {
+	if m == nil {
+		return
+	}
+	m.rounds.Inc()
+	m.roundEvals.Observe(int64(n))
+}
+
+// requeued records a stale-rejection requeue with its backoff delay.
+func (m *serviceMetrics) requeued(backoff sim.Duration) {
+	if m == nil {
+		return
+	}
+	m.evalRequeues.Inc()
+	m.requeueBackoff.Observe(int64(backoff))
 }
 
 // engineUsed records which optimizer engine answered this iteration and, for

@@ -1,0 +1,196 @@
+package metasched_test
+
+import (
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/fault"
+	"ecosched/internal/gridsim"
+	"ecosched/internal/job"
+	"ecosched/internal/metasched"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+// evalOrderOps decodes the fuzz input into a bounded event sequence over the
+// small fixed universe: each byte selects submit j1..j4, fail/recover/revoke
+// of a derived node, or a service tick. The sequence is capped so every
+// input terminates quickly.
+func evalOrderOps(data []byte) []byte {
+	const maxOps = 48
+	if len(data) > maxOps {
+		data = data[:maxOps]
+	}
+	ticks := 0
+	var ops []byte
+	for _, b := range data {
+		if b%8 == 7 {
+			if ticks >= 12 {
+				continue
+			}
+			ticks++
+		}
+		ops = append(ops, b)
+	}
+	return ops
+}
+
+// commutative reports whether the op sequence contains only submits and
+// ticks. Submissions within one tick segment are commutative: jobs carry
+// distinct priorities, so the frozen batch — and therefore the schedule —
+// is independent of their arrival order. Fault events are not commutative
+// (failing a node before versus after a tick cancels different bookings).
+func commutative(ops []byte) bool {
+	for _, b := range ops {
+		if op := b % 8; op >= 4 && op <= 6 {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalOrder rewrites a commutative sequence into its canonical form:
+// within each tick-delimited segment the submit ops are sorted ascending by
+// job index (insertion sort keeps it allocation-light and stable).
+func canonicalOrder(ops []byte) []byte {
+	out := append([]byte(nil), ops...)
+	segStart := 0
+	flush := func(end int) {
+		seg := out[segStart:end]
+		for i := 1; i < len(seg); i++ {
+			for k := i; k > 0 && seg[k]%8 < seg[k-1]%8; k-- {
+				seg[k], seg[k-1] = seg[k-1], seg[k]
+			}
+		}
+		segStart = end + 1
+	}
+	for i, b := range out {
+		if b%8 == 7 {
+			flush(i)
+		}
+	}
+	flush(len(out))
+	return out
+}
+
+// runEvalOrder plays the op sequence through a fresh service session,
+// running the full fault audit after every operation, and returns the
+// FNV-64a hash of the final canonical grid state. Infeasible operations
+// (duplicate submits, events on already-failed nodes) are skipped — the
+// fuzzer explores them freely.
+func runEvalOrder(t *testing.T, ops []byte) uint64 {
+	t.Helper()
+	nodes := []*resource.Node{
+		{Name: "n1", Performance: 1, Price: 2},
+		{Name: "n2", Performance: 1, Price: 3},
+		{Name: "n3", Performance: 1, Price: 4},
+	}
+	pool, err := resource.NewPool(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gridsim.New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := metasched.New(metasched.Config{
+		Algorithm:        alloc.ALP{},
+		Policy:           metasched.MinimizeTime,
+		Horizon:          300,
+		Step:             50,
+		MaxPostponements: 3,
+		Retry:            &metasched.RetryPolicy{MaxAttempts: 2, BackoffBase: 50, BackoffMax: 50},
+	}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := metasched.NewService(sched, metasched.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := fault.NewAudit(sched)
+	labels := []string{"n1", "n2", "n3"}
+	for _, b := range ops {
+		node := labels[int(b/8)%len(labels)]
+		now := grid.Now()
+		switch b % 8 {
+		case 0, 1, 2, 3:
+			idx := int(b%8) + 1
+			j := &job.Job{
+				Name:     "j" + string(rune('0'+idx)),
+				Priority: idx,
+				Request:  job.ResourceRequest{Nodes: 1, Time: 40, MinPerformance: 1, MaxPrice: 10},
+			}
+			// Duplicate submissions are rejected by contract; skip them.
+			_ = svc.Submit(j)
+		case 4:
+			if _, err := svc.HandleNodeFailure(node); err != nil {
+				t.Fatalf("ops %q: fail %s: %v", ops, node, err)
+			}
+		case 5:
+			if err := svc.HandleNodeRecovery(node); err != nil {
+				t.Fatalf("ops %q: recover %s: %v", ops, node, err)
+			}
+		case 6:
+			span := sim.Interval{Start: now.Add(10), End: now.Add(60)}
+			if _, err := svc.HandleRevocation(node, span); err != nil {
+				t.Fatalf("ops %q: revoke %s: %v", ops, node, err)
+			}
+		case 7:
+			if _, err := svc.Tick(); err != nil {
+				t.Fatalf("ops %q: tick: %v", ops, err)
+			}
+		}
+		if err := audit.Check(); err != nil {
+			t.Fatalf("ops %q: audit violated after op %d: %v", ops, b, err)
+		}
+	}
+	// Settle with a fixed drain so both orderings compare the same number of
+	// rounds; recover everything first so the drain has capacity.
+	for _, l := range labels {
+		if err := svc.HandleNodeRecovery(l); err != nil {
+			t.Fatalf("ops %q: drain recover %s: %v", ops, l, err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := svc.Tick(); err != nil {
+			t.Fatalf("ops %q: drain tick: %v", ops, err)
+		}
+		if err := audit.Check(); err != nil {
+			t.Fatalf("ops %q: audit violated during drain: %v", ops, err)
+		}
+	}
+	var b strings.Builder
+	grid.CanonicalState(&b)
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return h.Sum64()
+}
+
+// FuzzEvalOrder feeds arbitrary event permutations of a small universe
+// through the continuous service: every sequence must keep all fault.Audit
+// invariants after every operation, and a commutative sequence (submits and
+// ticks only) must converge to the same final grid hash as its canonical
+// order — arrival order within a tick cannot change the schedule.
+func FuzzEvalOrder(f *testing.F) {
+	f.Add([]byte("01237777"))
+	f.Add([]byte("10327777"))
+	f.Add([]byte("3210777777"))
+	f.Add([]byte("0412773577"))
+	f.Add([]byte("0617277737"))
+	f.Add([]byte("7704127"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := evalOrderOps(data)
+		got := runEvalOrder(t, ops)
+		if commutative(ops) {
+			canon := canonicalOrder(ops)
+			want := runEvalOrder(t, canon)
+			if got != want {
+				t.Fatalf("ops %q: final grid hash %x diverged from canonical order %q hash %x",
+					ops, got, canon, want)
+			}
+		}
+	})
+}

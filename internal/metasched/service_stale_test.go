@@ -1,0 +1,224 @@
+package metasched_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/fault"
+	"ecosched/internal/gridsim"
+	"ecosched/internal/job"
+	"ecosched/internal/metasched"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+// staleHarness is a small deterministic service session the stale-plan
+// regressions poke at: four equal-performance nodes at distinct prices, one
+// single-node job, and a retry policy so stale rejections requeue with a
+// visible backoff.
+type staleHarness struct {
+	grid  *gridsim.Grid
+	sched *metasched.Scheduler
+	svc   *metasched.Service
+	audit *fault.Audit
+}
+
+func newStaleHarness(t *testing.T, shards int) *staleHarness {
+	t.Helper()
+	nodes := []*resource.Node{
+		{Name: "n1", Performance: 1, Price: 2},
+		{Name: "n2", Performance: 1, Price: 3},
+		{Name: "n3", Performance: 1, Price: 4},
+		{Name: "n4", Performance: 1, Price: 5},
+	}
+	pool, err := resource.NewPool(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gridsim.New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := metasched.New(metasched.Config{
+		Algorithm:        alloc.ALP{},
+		Policy:           metasched.MinimizeTime,
+		Horizon:          400,
+		Step:             50,
+		MaxPostponements: 5,
+		Shards:           shards,
+		Retry:            &metasched.RetryPolicy{MaxAttempts: 3, BackoffBase: 50, BackoffMax: 100},
+	}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := metasched.NewService(sched, metasched.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &staleHarness{grid: grid, sched: sched, svc: svc, audit: fault.NewAudit(sched)}
+	j := &job.Job{
+		Name:     "j1",
+		Priority: 1,
+		Request:  job.ResourceRequest{Nodes: 1, Time: 50, MinPerformance: 1, MaxPrice: 10},
+	}
+	if err := svc.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// planRound opens a round and plans it, returning the round and the single
+// chosen placement the plan must hold.
+func (h *staleHarness) planRound(t *testing.T) (*metasched.Round, slot_Placement) {
+	t.Helper()
+	r, err := h.svc.BeginRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	p := r.Plan()
+	if p == nil || len(p.Choices) != 1 {
+		t.Fatalf("expected a 1-choice plan, got %+v", p)
+	}
+	if p.Stale(h.grid.Epoch()) {
+		t.Fatal("plan stale immediately after Evaluate: the snapshot epoch was mis-stamped")
+	}
+	w := p.Choices[0].Window
+	if len(w.Placements) != 1 {
+		t.Fatalf("expected a single placement, got %v", w)
+	}
+	return r, slot_Placement{node: w.Placements[0].Source.Node, span: w.Placements[0].Used}
+}
+
+// slot_Placement is the regression suite's view of a chosen placement.
+type slot_Placement struct {
+	node *resource.Node
+	span sim.Interval
+}
+
+// applyExpectStale applies the round and asserts the shared rejection
+// contract: the window was rejected (not double-booked), the job was
+// postponed back into the scheduler queue, a backoff-gated requeue
+// evaluation was enqueued, and the full fault audit passes.
+func (h *staleHarness) applyExpectStale(t *testing.T, r *metasched.Round) {
+	t.Helper()
+	if p := r.Plan(); !p.Stale(h.grid.Epoch()) {
+		t.Fatal("plan not flagged stale after the concurrent mutation: the grid epoch did not advance")
+	}
+	if err := r.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	it := r.Iteration()
+	if it.StaleWindows() != 1 {
+		t.Fatalf("StaleWindows = %d, want 1", it.StaleWindows())
+	}
+	if got := fmt.Sprint(it.StaleJobs()); got != "[j1]" {
+		t.Fatalf("StaleJobs = %v, want [j1]", got)
+	}
+	for _, task := range h.grid.AllTasks() {
+		if !task.Local && task.Name == "j1" {
+			t.Fatalf("rejected window left a booking behind: %+v", task)
+		}
+	}
+	if h.sched.PlacedCount() != 0 {
+		t.Fatalf("PlacedCount = %d after rejection, want 0", h.sched.PlacedCount())
+	}
+	if h.sched.QueueLength() != 1 {
+		t.Fatalf("QueueLength = %d after rejection, want 1 (job postponed, not lost)", h.sched.QueueLength())
+	}
+	// The queue holds the requeue evaluation plus, for event-driven
+	// scenarios, the fail/revoke evaluation the handler enqueued.
+	if h.svc.QueueDepth() < 1 {
+		t.Fatalf("eval QueueDepth = %d after rejection, want >= 1 (the requeue evaluation)", h.svc.QueueDepth())
+	}
+	var b strings.Builder
+	h.svc.CanonicalState(&b)
+	if !strings.Contains(b.String(), `eval requeue subject="j1"`) || !strings.Contains(b.String(), "attempt=1") {
+		t.Fatalf("requeue evaluation missing from service state:\n%s", b.String())
+	}
+	if err := h.audit.Check(); err != nil {
+		t.Fatalf("audit after stale apply: %v", err)
+	}
+	if _, err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.audit.Check(); err != nil {
+		t.Fatalf("audit after finish: %v", err)
+	}
+}
+
+// drainExpectPlaced ticks the service until the job lands, auditing after
+// every round.
+func (h *staleHarness) drainExpectPlaced(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 8 && h.sched.QueueLength() > 0; i++ {
+		if _, err := h.svc.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.audit.Check(); err != nil {
+			t.Fatalf("audit after recovery tick %d: %v", i, err)
+		}
+	}
+	if h.sched.PlacedCount() != 1 {
+		t.Fatalf("job never re-placed after rejection: placed=%d queue=%d dropped=%v",
+			h.sched.PlacedCount(), h.sched.QueueLength(), h.sched.DroppedJobs())
+	}
+}
+
+// TestStalePlanBookedSpan: a concurrent apply (here: an owner-local booking)
+// takes the exact span the worker's plan chose between Evaluate and Apply.
+// The serial applier must reject the window instead of double-booking.
+func TestStalePlanBookedSpan(t *testing.T) {
+	h := newStaleHarness(t, 1)
+	r, pl := h.planRound(t)
+	if err := h.grid.Book(gridsim.Task{Name: "intruder", Node: pl.node.ID, Span: pl.span, Local: true}); err != nil {
+		t.Fatal(err)
+	}
+	h.applyExpectStale(t, r)
+	h.drainExpectPlaced(t)
+}
+
+// TestStalePlanFailedNode: the chosen node fails between Evaluate and Apply.
+// The commit's failed-node guard must reject the window; the job re-places
+// on a surviving node.
+func TestStalePlanFailedNode(t *testing.T) {
+	h := newStaleHarness(t, 1)
+	r, pl := h.planRound(t)
+	if _, err := h.svc.HandleNodeFailure(pl.node.Label()); err != nil {
+		t.Fatal(err)
+	}
+	h.applyExpectStale(t, r)
+	h.drainExpectPlaced(t)
+}
+
+// TestStalePlanRevokedInterval: the owner reclaims the chosen span between
+// Evaluate and Apply (the revocation books reclaim tasks over it), so the
+// commit must find the interval occupied and reject.
+func TestStalePlanRevokedInterval(t *testing.T) {
+	h := newStaleHarness(t, 1)
+	r, pl := h.planRound(t)
+	if _, err := h.svc.HandleRevocation(pl.node.Label(), pl.span); err != nil {
+		t.Fatal(err)
+	}
+	h.applyExpectStale(t, r)
+	h.drainExpectPlaced(t)
+}
+
+// TestStalePlanShardLocalDrop: under a two-shard federation the invalidation
+// lands in exactly one shard — the intruder books over the chosen span on
+// its node — and the apply must reject shard-locally: the other shard's
+// store stays coherent (the audit's per-shard vacancy invariant checks
+// both), the job requeues and re-places.
+func TestStalePlanShardLocalDrop(t *testing.T) {
+	h := newStaleHarness(t, 2)
+	r, pl := h.planRound(t)
+	if err := h.grid.Book(gridsim.Task{Name: "intruder", Node: pl.node.ID, Span: pl.span, Local: true}); err != nil {
+		t.Fatal(err)
+	}
+	h.applyExpectStale(t, r)
+	h.drainExpectPlaced(t)
+}

@@ -36,16 +36,19 @@ type Iteration struct {
 	rep *IterationReport
 	// selected is the batch frozen by BeginIteration.
 	selected []*queued
-	// plan is the optimizer's combination; nil when the batch was empty,
-	// nothing was covered, or the combination was infeasible.
-	plan     *dp.Plan
+	// plan is the optimizer's combination bound to its snapshot epoch; nil
+	// when the batch was empty, nothing was covered, or the combination was
+	// infeasible.
+	plan     *Plan
 	planned  bool
 	applied  bool
 	finished bool
 	// placedNames marks the jobs Apply committed.
 	placedNames map[string]bool
-	// stale counts windows Apply could not commit.
-	stale int
+	// stale counts windows Apply could not commit; staleNames records their
+	// jobs in choice order for the service's requeue path.
+	stale      int
+	staleNames []string
 }
 
 // BeginIteration opens a new step-driven iteration: it advances the
@@ -87,6 +90,10 @@ func (it *Iteration) Plan() error {
 	if len(it.selected) == 0 {
 		return nil
 	}
+	// The snapshot epoch is captured before publication: nothing between
+	// here and VacantView/ShardViews mutates the grid, so a plan stamped
+	// with this epoch was provably searched against the state it names.
+	epoch := s.grid.Epoch()
 	horizon := s.grid.Now().Add(s.cfg.Horizon)
 	jobs := make([]*job.Job, len(it.selected))
 	for i, q := range it.selected {
@@ -198,10 +205,20 @@ func (it *Iteration) Plan() error {
 	s.cfg.Trace.Record(trace.PlanChosen, "", "%s: T=%v C=%v over %d jobs",
 		s.cfg.Policy, plan.TotalTime, plan.TotalCost, len(plan.Choices))
 	s.metrics.planChosen(plan.TotalTime, plan.TotalCost, len(plan.Choices))
-	it.plan = plan
+	it.plan = newPlan(it.rep.Iteration, epoch, plan)
 	it.rep.PlanTime = plan.TotalTime
 	it.rep.PlanCost = plan.TotalCost
 	return nil
+}
+
+// PendingPlan returns the combination Plan produced and Apply has not yet
+// consumed: nil before Plan, after Apply, or when the iteration planned
+// nothing. The service's evaluation phase hands this to its applier.
+func (it *Iteration) PendingPlan() *Plan {
+	if !it.planned || it.applied {
+		return nil
+	}
+	return it.plan
 }
 
 // Apply commits the planned combination and resolves the rest of the batch.
@@ -220,12 +237,19 @@ func (it *Iteration) Apply() error {
 	s := it.s
 	it.placedNames = map[string]bool{}
 	if it.plan != nil {
+		// The epoch comparison is pure accounting: a fresh plan's snapshot is
+		// provably exact so every commit below must succeed, while a stale
+		// plan rides the same re-validating commits and merely counts as
+		// re-validated. The schedule never depends on the epoch.
+		s.metrics.planApplied(it.plan.Stale(s.grid.Epoch()))
 		for _, ch := range it.plan.Choices {
 			if err := s.grid.Commit(ch.Window); err != nil {
 				// The window went stale between Plan and Apply; the grid
 				// rolled back its partial placements, so postponing is
 				// side-effect-free.
 				it.stale++
+				it.staleNames = append(it.staleNames, ch.Job.Name)
+				s.metrics.planWindowStale()
 				s.cfg.Trace.Record(trace.PlanStale, ch.Job.Name, "window rejected at commit: %v", err)
 				continue
 			}
@@ -287,6 +311,10 @@ func (it *Iteration) Apply() error {
 // environment invalidated them between Plan and Apply; always zero on an
 // undisturbed run.
 func (it *Iteration) StaleWindows() int { return it.stale }
+
+// StaleJobs returns the names of the jobs whose chosen windows Apply
+// rejected, in choice order. The service requeues an evaluation for each.
+func (it *Iteration) StaleJobs() []string { return it.staleNames }
 
 // Finish advances the clock by the configured step and returns the
 // iteration report. An iteration whose batch was empty may skip Plan and

@@ -76,6 +76,16 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add shifts the gauge by delta, which may be negative — the natural
+// operation for level gauges (queue depths, in-flight counts) maintained by
+// paired enter/leave observations.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
 // SetMax raises the gauge to v when v exceeds the current value — a
 // high-water mark usable from concurrent observers.
 func (g *Gauge) SetMax(v int64) {

@@ -17,6 +17,7 @@
 //	ecosched scaling                      # operation-count scaling vs backfill
 //	ecosched gridsim                      # multi-iteration metascheduler demo
 //	ecosched chaos  [-faults PLAN]        # fault-injected session with audit
+//	ecosched recover -journal PATH        # rebuild a crashed chaos -service session
 //	ecosched mc     [-depth N -states N]  # exhaustive schedule/commit model checker
 //
 // The paper's full runs use -iterations 25000; the default of 2000 keeps a
@@ -58,10 +59,12 @@ func run(args []string) error {
 	rebuildVacant := fs.Bool("rebuild-vacant", false, "rebuild the vacant-slot list from the bookings on every publication instead of maintaining the live store (results are identical for either)")
 	service := fs.Bool("service", false, "drive the session through the continuous-service event loop (eval queue + plan/apply rounds; transcripts are identical to batch mode)")
 	faults := fs.String("faults", "", "fault plan for the chaos scenario, e.g. \"fail@300:cpu3;recover@600:cpu3;revoke@450:cpu5:500-700\" (empty = seeded random plan)")
+	journal := fs.String("journal", "", "write-ahead journal path for the chaos -service session (checkpoints land at PATH.ckpt); recover replays it")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "write a checkpoint every N journaled rounds (0 = journal only)")
 	universe := fs.String("universe", "default", "model-checker universe: tiny (2 nodes, 2 jobs), default (3 nodes, 3 jobs), or 2shard (default federated into two shards)")
 	depth := fs.Int("depth", 8, "model-checker interleaving depth bound")
 	states := fs.Int("states", 200000, "model-checker distinct-state bound")
-	mutation := fs.String("mutation", "none", "model-checker seeded bug: none, double-refund, resurrect, blind-apply (the sweep must catch it)")
+	mutation := fs.String("mutation", "none", "model-checker seeded bug: none, double-refund, resurrect, blind-apply, lossy-crash (the sweep must catch it)")
 	cexPath := fs.String("cex", "", "write the model-checker counterexample script to this file")
 	liveness := fs.Bool("liveness", true, "model-checker: drain sampled leaf states to check every job terminates")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot after the subcommand (\"-\" = stdout, .json = JSON encoding)")
@@ -86,7 +89,7 @@ func run(args []string) error {
 	if cmd == "mc" {
 		return runMC(*universe, *depth, *states, *mutation, *cexPath, *liveness, *service)
 	}
-	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *faults, *parallelism, *shards, *rebuildVacant, *service, reg); err != nil {
+	if err := dispatch(cmd, cfg, *seed, *iterations, *file, *faults, *journal, *checkpointEvery, *parallelism, *shards, *rebuildVacant, *service, reg); err != nil {
 		return err
 	}
 	if reg != nil {
@@ -97,7 +100,7 @@ func run(args []string) error {
 
 // dispatch runs one subcommand; the caller dumps the metrics snapshot (if
 // requested) after it returns, so every subcommand gets -metrics for free.
-func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file, faults string, parallelism, shards int, rebuildVacant, service bool, reg *metrics.Registry) error {
+func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations int, file, faults, journal string, checkpointEvery, parallelism, shards int, rebuildVacant, service bool, reg *metrics.Registry) error {
 	switch cmd {
 	case "example":
 		return runExample()
@@ -226,7 +229,9 @@ func dispatch(cmd string, cfg experiments.StudyConfig, seed uint64, iterations i
 	case "gridsim":
 		return runGridsim(seed, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, service, reg)
 	case "chaos":
-		return runChaos(seed, faults, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, service, reg)
+		return runChaos(seed, faults, journal, checkpointEvery, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, service, reg)
+	case "recover":
+		return runRecover(seed, journal, checkpointEvery, parallelism, shards, cfg.Search.UseLinearScan, rebuildVacant, reg)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -284,6 +289,7 @@ subcommands:
   replay    rerun the two-phase scheme on an exported scenario (-file in.json)
   gridsim   multi-iteration metascheduler demo on the grid simulator
   chaos     fault-injected session with retry/backoff and invariant audit
+  recover   rebuild a crashed chaos -service session from its journal (-journal PATH)
   mc        bounded exhaustive model checker for the schedule/commit protocol
 
 flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism N
@@ -294,7 +300,9 @@ flags (per subcommand): -seed N -iterations N -series N -file PATH -parallelism 
                         -rebuild-vacant (full vacancy rebuild per publication instead of the live store; identical results)
                         -service      (continuous-service event loop for gridsim/chaos/mc; identical transcripts)
                         -faults PLAN  (chaos fault plan, e.g. "fail@300:cpu3;recover@600:cpu3")
+                        -journal PATH (write-ahead journal for chaos -service; recover replays it)
+                        -checkpoint-every N (checkpoint cadence in rounds; 0 = journal only)
 mc flags:               -universe tiny|default|2shard -depth N -states N -liveness
-                        -mutation none|double-refund|resurrect|blind-apply -cex PATH
+                        -mutation none|double-refund|resurrect|blind-apply|lossy-crash -cex PATH
 `)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -43,6 +44,7 @@ func TestSubcommandsRun(t *testing.T) {
 		{"chaos"},
 		{"chaos", "-faults", "fail@300:cpu3;recover@600:cpu3;revoke@450:cpu5:500-700"},
 		{"chaos", "-shards", "2"},
+		{"chaos", "-service"},
 		{"mc", "-universe", "2shard", "-depth", "4", "-states", "2000"},
 		{"help"},
 	}
@@ -114,6 +116,67 @@ func TestMetricsFlagWritesSnapshot(t *testing.T) {
 		if !containsStr(string(jdata), frag) {
 			t.Errorf("JSON snapshot missing %q", frag)
 		}
+	}
+}
+
+// TestChaosJournalRecover drives the durability flags end to end: a journaled
+// chaos -service session, a recover that must reproduce it, and a second
+// recover that must print the identical canonical state hash — the CLI-level
+// version of the byte-identical recovery proof.
+func TestChaosJournalRecover(t *testing.T) {
+	old := os.Stdout
+	defer func() { os.Stdout = old }()
+
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "chaos.journal")
+	capture := func(args []string) string {
+		t.Helper()
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run(args)
+		w.Close()
+		os.Stdout = old
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runErr != nil {
+			t.Fatalf("%v: %v\n%s", args, runErr, data)
+		}
+		return string(data)
+	}
+
+	out := capture([]string{"chaos", "-service", "-journal", journal, "-checkpoint-every", "2", "-seed", "7"})
+	if !containsStr(out, "journal: "+journal) {
+		t.Fatalf("chaos output missing journal summary:\n%s", out)
+	}
+	if _, err := os.Stat(journal + ".ckpt"); err != nil {
+		t.Fatalf("checkpoint cadence wrote no checkpoint: %v", err)
+	}
+
+	rec1 := capture([]string{"recover", "-journal", journal, "-seed", "7"})
+	for _, frag := range []string{"checkpoint + journal suffix", "audit clean", "state hash: "} {
+		if !containsStr(rec1, frag) {
+			t.Fatalf("recover output missing %q:\n%s", frag, rec1)
+		}
+	}
+	rec2 := capture([]string{"recover", "-journal", journal, "-seed", "7"})
+	if rec1 != rec2 {
+		t.Fatalf("two recoveries of the same journal diverged\n--- first ---\n%s\n--- second ---\n%s", rec1, rec2)
+	}
+
+	// The flags guard their prerequisites.
+	if err := run([]string{"chaos", "-journal", journal}); err == nil {
+		t.Error("chaos -journal without -service accepted")
+	}
+	if err := run([]string{"recover"}); err == nil {
+		t.Error("recover without -journal accepted")
+	}
+	if err := run([]string{"recover", "-journal", filepath.Join(dir, "missing.journal")}); err == nil {
+		t.Error("recover of a missing journal accepted")
 	}
 }
 

@@ -44,7 +44,9 @@ type slotJSON struct {
 	End   int64   `json:"end"`
 }
 
-// jobJSON is the wire form of a job.Job.
+// jobJSON is the wire form of a job.Job. Scenarios, journal records, and
+// checkpoints all share it, so a job round-trips identically whichever
+// document carries it.
 type jobJSON struct {
 	Name         string   `json:"name"`
 	Priority     int      `json:"priority"`
@@ -57,6 +59,48 @@ type jobJSON struct {
 	MinDiskGB    int      `json:"min_disk_gb,omitempty"`
 	OS           string   `json:"os,omitempty"`
 	Tags         []string `json:"tags,omitempty"`
+	Deadline     int64    `json:"deadline,omitempty"`
+}
+
+// jobToWire converts a job to its wire form.
+func jobToWire(j *job.Job) jobJSON {
+	return jobJSON{
+		Name:         j.Name,
+		Priority:     j.Priority,
+		Nodes:        j.Request.Nodes,
+		Time:         int64(j.Request.Time),
+		MinPerf:      j.Request.MinPerformance,
+		MaxPrice:     float64(j.Request.MaxPrice),
+		BudgetFactor: j.Request.BudgetFactor,
+		MinRAMMB:     j.Request.Needs.MinRAMMB,
+		MinDiskGB:    j.Request.Needs.MinDiskGB,
+		OS:           j.Request.Needs.OS,
+		Tags:         j.Request.Needs.Tags,
+		Deadline:     int64(j.Request.Deadline),
+	}
+}
+
+// jobFromWire rebuilds a job from its wire form (structural validation is the
+// caller's: scenarios validate through NewBatch, records through Validate).
+func jobFromWire(w jobJSON) *job.Job {
+	return &job.Job{
+		Name:     w.Name,
+		Priority: w.Priority,
+		Request: job.ResourceRequest{
+			Nodes:          w.Nodes,
+			Time:           sim.Duration(w.Time),
+			MinPerformance: w.MinPerf,
+			MaxPrice:       sim.Money(w.MaxPrice),
+			BudgetFactor:   w.BudgetFactor,
+			Needs: resource.Requirements{
+				MinRAMMB:  w.MinRAMMB,
+				MinDiskGB: w.MinDiskGB,
+				OS:        w.OS,
+				Tags:      w.Tags,
+			},
+			Deadline: sim.Time(w.Deadline),
+		},
+	}
 }
 
 // scenarioJSON is the top-level wire document.
@@ -100,19 +144,7 @@ func EncodeScenario(w io.Writer, sc *workload.Scenario) error {
 		})
 	}
 	for _, j := range sc.Batch.Jobs() {
-		doc.Jobs = append(doc.Jobs, jobJSON{
-			Name:         j.Name,
-			Priority:     j.Priority,
-			Nodes:        j.Request.Nodes,
-			Time:         int64(j.Request.Time),
-			MinPerf:      j.Request.MinPerformance,
-			MaxPrice:     float64(j.Request.MaxPrice),
-			BudgetFactor: j.Request.BudgetFactor,
-			MinRAMMB:     j.Request.Needs.MinRAMMB,
-			MinDiskGB:    j.Request.Needs.MinDiskGB,
-			OS:           j.Request.Needs.OS,
-			Tags:         j.Request.Needs.Tags,
-		})
+		doc.Jobs = append(doc.Jobs, jobToWire(j))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -168,23 +200,7 @@ func DecodeScenario(r io.Reader) (*workload.Scenario, error) {
 	}
 	jobs := make([]*job.Job, 0, len(doc.Jobs))
 	for _, j := range doc.Jobs {
-		jobs = append(jobs, &job.Job{
-			Name:     j.Name,
-			Priority: j.Priority,
-			Request: job.ResourceRequest{
-				Nodes:          j.Nodes,
-				Time:           sim.Duration(j.Time),
-				MinPerformance: j.MinPerf,
-				MaxPrice:       sim.Money(j.MaxPrice),
-				BudgetFactor:   j.BudgetFactor,
-				Needs: resource.Requirements{
-					MinRAMMB:  j.MinRAMMB,
-					MinDiskGB: j.MinDiskGB,
-					OS:        j.OS,
-					Tags:      j.Tags,
-				},
-			},
-		})
+		jobs = append(jobs, jobFromWire(j))
 	}
 	batch, err := job.NewBatch(jobs)
 	if err != nil {

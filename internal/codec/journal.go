@@ -1,0 +1,369 @@
+// Journal records: the wire layer of the crash-safe durability subsystem
+// (internal/durable). Every externally visible service transition — job
+// submission, node failure/recovery, interval revocation, and a full
+// plan/apply round — is one length-prefixed, CRC-framed JSON record appended
+// to the write-ahead journal. Frames make torn tails detectable (a crash
+// mid-append leaves a frame whose length or checksum cannot verify, and
+// recovery drops it cleanly); versioned payloads make skew detectable (a
+// journal written by a future format is rejected with a clear error, never
+// loaded approximately). Node identity is by label, not pool index: a
+// recovered pool is rebuilt by a factory and labels are its stable names.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"ecosched/internal/job"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+	"ecosched/internal/slot"
+)
+
+// JournalVersion identifies the journal record wire format; bump on
+// incompatible changes. Recovery rejects records from any other version.
+const JournalVersion = 1
+
+// JournalMagic is the 8-byte header a journal file starts with.
+const JournalMagic = "ECOJRNL1"
+
+// FrameOverhead is the per-frame prefix length: a 4-byte big-endian payload
+// length followed by the 4-byte big-endian IEEE CRC32 of the payload.
+const FrameOverhead = 8
+
+// frameHeaderLen is FrameOverhead under its historical internal name.
+const frameHeaderLen = FrameOverhead
+
+// maxFramePayload bounds a single frame. Journal records are small (a round
+// record with a dozen choices is a few KB); the bound keeps a corrupted
+// length field from demanding a gigabyte allocation during a scan.
+const maxFramePayload = 16 << 20
+
+// ErrTorn marks a structurally incomplete or checksum-corrupt region: a
+// frame cut short by a crash, or bytes that never were a frame. Recovery
+// treats a torn tail as the end of the journal; a torn checkpoint falls back
+// to full replay.
+var ErrTorn = errors.New("codec: torn or corrupt frame")
+
+// VersionSkewError reports a payload written by an incompatible format
+// version. Unlike ErrTorn it is never silently absorbed: skew means the
+// operator mixed binaries, and loading approximately would corrupt state.
+type VersionSkewError struct {
+	What string
+	Got  int
+	Want int
+}
+
+func (e *VersionSkewError) Error() string {
+	return fmt.Sprintf("codec: %s format version %d (this binary reads %d)", e.What, e.Got, e.Want)
+}
+
+// Frame wraps a payload as one journal frame: length, CRC32, payload.
+func Frame(payload []byte) []byte {
+	out := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeaderLen:], payload)
+	return out
+}
+
+// ScanFrames walks data frame by frame, returning each verified payload and
+// the byte offset just past its frame, plus the length of the valid prefix.
+// Scanning stops at the first torn frame (short header, short payload,
+// oversized length, or CRC mismatch): everything from there on is the torn
+// tail a crash left behind, and validLen is where an append may safely
+// resume after truncation.
+func ScanFrames(data []byte) (payloads [][]byte, ends []int, validLen int) {
+	off := 0
+	for off+frameHeaderLen <= len(data) {
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		if n > maxFramePayload || off+frameHeaderLen+n > len(data) {
+			break
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(data[off+4:off+8]) {
+			break
+		}
+		off += frameHeaderLen + n
+		payloads = append(payloads, payload)
+		ends = append(ends, off)
+	}
+	return payloads, ends, off
+}
+
+// RecordKind enumerates the journaled transition classes.
+type RecordKind string
+
+const (
+	// RecordSubmit is a job submission accepted by the service.
+	RecordSubmit RecordKind = "submit"
+	// RecordFail is a node failure routed through the service.
+	RecordFail RecordKind = "fail"
+	// RecordRecover is a failed node re-joining the pool.
+	RecordRecover RecordKind = "recover"
+	// RecordRevoke is an owner reclaiming a booked interval.
+	RecordRevoke RecordKind = "revoke"
+	// RecordRound is one complete evaluation round: the plan that was
+	// applied (with its snapshot epoch), the windows rejected as stale, and
+	// the jobs placed.
+	RecordRound RecordKind = "round"
+)
+
+// Record is one journal entry in domain form: what transition happened, at
+// what simulated time, and what its deterministic outcome was. Replay
+// re-executes the transition through the real service handlers and
+// cross-checks the outcome fields — a mismatch means the journal and the
+// code disagree about history, and recovery fails instead of loading it.
+type Record struct {
+	// Seq is the append sequence number (1-based, monotone).
+	Seq uint64
+	// Kind is the transition class.
+	Kind RecordKind
+	// Now is the grid clock when the transition was journaled.
+	Now sim.Time
+	// Job is the submitted job (RecordSubmit only).
+	Job *job.Job
+	// Node is the node label (fail/recover/revoke).
+	Node string
+	// Span is the revoked interval (RecordRevoke only).
+	Span sim.Interval
+	// Requeued and Dropped are the outcome ledgers of fail/revoke records:
+	// the jobs re-queued, and the jobs terminally dropped, by the event.
+	Requeued []string
+	Dropped  []string
+	// Round is the round payload (RecordRound only).
+	Round *RoundRecord
+}
+
+// RoundRecord captures one evaluation round for replay-driven apply: the
+// recovered round skips the search, installs exactly these choices, and runs
+// the normal serial applier against them.
+type RoundRecord struct {
+	// Iteration is the 1-based scheduler iteration the round drove.
+	Iteration int
+	// Tick marks a round opened by the periodic tick (Service.Tick).
+	Tick bool
+	// Planned records whether the round's search produced a combination;
+	// Epoch, TotalTime, TotalCost, and Choices are meaningful only then.
+	Planned   bool
+	Epoch     uint64
+	TotalTime sim.Duration
+	TotalCost sim.Money
+	// Choices are the applied combination's windows in choice order.
+	Choices []ChoiceRecord
+	// Stale lists the jobs whose windows the applier rejected, in choice
+	// order; Placed lists the jobs committed, in choice order.
+	Stale  []string
+	Placed []string
+}
+
+// ChoiceRecord is one chosen window, the job referenced by name.
+type ChoiceRecord struct {
+	Job    string
+	Window *slot.Window
+}
+
+// recordJSON is the wire form of a Record.
+type recordJSON struct {
+	Version   int        `json:"v"`
+	Seq       uint64     `json:"seq"`
+	Kind      string     `json:"kind"`
+	Now       int64      `json:"now"`
+	Job       *jobJSON   `json:"job,omitempty"`
+	Node      string     `json:"node,omitempty"`
+	SpanStart int64      `json:"span_start,omitempty"`
+	SpanEnd   int64      `json:"span_end,omitempty"`
+	Requeued  []string   `json:"requeued,omitempty"`
+	Dropped   []string   `json:"dropped,omitempty"`
+	Round     *roundJSON `json:"round,omitempty"`
+}
+
+type roundJSON struct {
+	Iteration int          `json:"iteration"`
+	Tick      bool         `json:"tick,omitempty"`
+	Planned   bool         `json:"planned,omitempty"`
+	Epoch     uint64       `json:"epoch,omitempty"`
+	TotalTime int64        `json:"total_time,omitempty"`
+	TotalCost float64      `json:"total_cost,omitempty"`
+	Choices   []choiceJSON `json:"choices,omitempty"`
+	Stale     []string     `json:"stale,omitempty"`
+	Placed    []string     `json:"placed,omitempty"`
+}
+
+type choiceJSON struct {
+	Job        string          `json:"job"`
+	Placements []placementJSON `json:"placements"`
+}
+
+type placementJSON struct {
+	Node      string  `json:"node"`
+	Price     float64 `json:"price"`
+	SrcStart  int64   `json:"src_start"`
+	SrcEnd    int64   `json:"src_end"`
+	UsedStart int64   `json:"used_start"`
+	UsedEnd   int64   `json:"used_end"`
+}
+
+// EncodeRecord serializes the record and wraps it as one journal frame.
+func EncodeRecord(rec *Record) ([]byte, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("codec: nil journal record")
+	}
+	doc := recordJSON{
+		Version:   JournalVersion,
+		Seq:       rec.Seq,
+		Kind:      string(rec.Kind),
+		Now:       int64(rec.Now),
+		Node:      rec.Node,
+		SpanStart: int64(rec.Span.Start),
+		SpanEnd:   int64(rec.Span.End),
+		Requeued:  rec.Requeued,
+		Dropped:   rec.Dropped,
+	}
+	switch rec.Kind {
+	case RecordSubmit:
+		if rec.Job == nil {
+			return nil, fmt.Errorf("codec: submit record %d without a job", rec.Seq)
+		}
+		w := jobToWire(rec.Job)
+		doc.Job = &w
+	case RecordFail, RecordRecover, RecordRevoke:
+		if rec.Node == "" {
+			return nil, fmt.Errorf("codec: %s record %d without a node", rec.Kind, rec.Seq)
+		}
+	case RecordRound:
+		if rec.Round == nil {
+			return nil, fmt.Errorf("codec: round record %d without a round payload", rec.Seq)
+		}
+		r := roundJSON{
+			Iteration: rec.Round.Iteration,
+			Tick:      rec.Round.Tick,
+			Planned:   rec.Round.Planned,
+			Epoch:     rec.Round.Epoch,
+			TotalTime: int64(rec.Round.TotalTime),
+			TotalCost: float64(rec.Round.TotalCost),
+			Stale:     rec.Round.Stale,
+			Placed:    rec.Round.Placed,
+		}
+		for _, ch := range rec.Round.Choices {
+			if ch.Window == nil {
+				return nil, fmt.Errorf("codec: round record %d choice %q without a window", rec.Seq, ch.Job)
+			}
+			cj := choiceJSON{Job: ch.Job}
+			for _, p := range ch.Window.Placements {
+				cj.Placements = append(cj.Placements, placementJSON{
+					Node:      p.Source.Node.Label(),
+					Price:     float64(p.Source.Price),
+					SrcStart:  int64(p.Source.Span.Start),
+					SrcEnd:    int64(p.Source.Span.End),
+					UsedStart: int64(p.Used.Start),
+					UsedEnd:   int64(p.Used.End),
+				})
+			}
+			r.Choices = append(r.Choices, cj)
+		}
+		doc.Round = &r
+	default:
+		return nil, fmt.Errorf("codec: unknown record kind %q", rec.Kind)
+	}
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return Frame(payload), nil
+}
+
+// DecodeRecord rebuilds a record from one verified frame payload, resolving
+// node labels against the pool. Unknown fields, version skew, unknown kinds,
+// and structurally invalid windows are all rejected — a record either decodes
+// to exactly what was written or fails with a diagnosable error.
+func DecodeRecord(payload []byte, pool *resource.Pool) (*Record, error) {
+	var doc recordJSON
+	if err := strictUnmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("codec: journal record: %w", err)
+	}
+	if doc.Version != JournalVersion {
+		return nil, &VersionSkewError{What: "journal record", Got: doc.Version, Want: JournalVersion}
+	}
+	rec := &Record{
+		Seq:      doc.Seq,
+		Kind:     RecordKind(doc.Kind),
+		Now:      sim.Time(doc.Now),
+		Node:     doc.Node,
+		Span:     sim.Interval{Start: sim.Time(doc.SpanStart), End: sim.Time(doc.SpanEnd)},
+		Requeued: doc.Requeued,
+		Dropped:  doc.Dropped,
+	}
+	switch rec.Kind {
+	case RecordSubmit:
+		if doc.Job == nil {
+			return nil, fmt.Errorf("codec: submit record %d without a job", doc.Seq)
+		}
+		j := jobFromWire(*doc.Job)
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("codec: submit record %d: %w", doc.Seq, err)
+		}
+		rec.Job = j
+	case RecordFail, RecordRecover, RecordRevoke:
+		if doc.Node == "" {
+			return nil, fmt.Errorf("codec: %s record %d without a node", rec.Kind, doc.Seq)
+		}
+		if pool != nil && pool.ByName(doc.Node) == nil {
+			return nil, fmt.Errorf("codec: %s record %d references unknown node %q", rec.Kind, doc.Seq, doc.Node)
+		}
+	case RecordRound:
+		if doc.Round == nil {
+			return nil, fmt.Errorf("codec: round record %d without a round payload", doc.Seq)
+		}
+		r := &RoundRecord{
+			Iteration: doc.Round.Iteration,
+			Tick:      doc.Round.Tick,
+			Planned:   doc.Round.Planned,
+			Epoch:     doc.Round.Epoch,
+			TotalTime: sim.Duration(doc.Round.TotalTime),
+			TotalCost: sim.Money(doc.Round.TotalCost),
+			Stale:     doc.Round.Stale,
+			Placed:    doc.Round.Placed,
+		}
+		for _, cj := range doc.Round.Choices {
+			w := &slot.Window{JobName: cj.Job}
+			for _, pj := range cj.Placements {
+				if pool == nil {
+					return nil, fmt.Errorf("codec: round record %d needs a pool to resolve nodes", doc.Seq)
+				}
+				node := pool.ByName(pj.Node)
+				if node == nil {
+					return nil, fmt.Errorf("codec: round record %d references unknown node %q", doc.Seq, pj.Node)
+				}
+				w.Placements = append(w.Placements, slot.Placement{
+					Source: slot.Slot{
+						Node:  node,
+						Price: sim.Money(pj.Price),
+						Span:  sim.Interval{Start: sim.Time(pj.SrcStart), End: sim.Time(pj.SrcEnd)},
+					},
+					Used: sim.Interval{Start: sim.Time(pj.UsedStart), End: sim.Time(pj.UsedEnd)},
+				})
+			}
+			if err := w.Validate(); err != nil {
+				return nil, fmt.Errorf("codec: round record %d: %w", doc.Seq, err)
+			}
+			r.Choices = append(r.Choices, ChoiceRecord{Job: cj.Job, Window: w})
+		}
+		rec.Round = r
+	default:
+		return nil, fmt.Errorf("codec: unknown record kind %q", doc.Kind)
+	}
+	return rec, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so a record written
+// by a richer (future) format cannot half-load.
+func strictUnmarshal(payload []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -1,0 +1,215 @@
+package durable_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"ecosched/internal/alloc"
+	"ecosched/internal/codec"
+	"ecosched/internal/durable"
+	"ecosched/internal/fault"
+	"ecosched/internal/gridsim"
+	"ecosched/internal/job"
+	"ecosched/internal/metasched"
+	"ecosched/internal/resource"
+	"ecosched/internal/sim"
+)
+
+// fuzzFactory rebuilds the tiny deterministic scenario every fuzz execution
+// recovers into: three nodes, seeded local load, a short retry ladder. Small
+// on purpose — the fuzzer runs it twice per input.
+func fuzzFactory() (*metasched.Service, error) {
+	pool, err := resource.NewPool([]*resource.Node{
+		{Name: "n1", Performance: 1, Price: 1, Domain: "d0"},
+		{Name: "n2", Performance: 2, Price: 1.5, Domain: "d1"},
+		{Name: "n3", Performance: 1.5, Price: 2},
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid, err := gridsim.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := grid.Populate(gridsim.LocalLoad{MeanGap: 120, DurMin: 20, DurMax: 40}, 0, 1000, sim.NewRNG(42)); err != nil {
+		return nil, err
+	}
+	sched, err := metasched.New(metasched.Config{
+		Algorithm: alloc.AMP{}, Policy: metasched.MinimizeTime,
+		Horizon: 600, Step: 60, MaxBatch: 3, MaxPostponements: 2,
+		Retry: &metasched.RetryPolicy{
+			MaxAttempts: 2, BackoffBase: 30, BackoffFactor: 2, BackoffMax: 120,
+			PriceRelaxFactor: 1.3, MaxRelaxations: 1,
+		},
+	}, grid)
+	if err != nil {
+		return nil, err
+	}
+	return metasched.NewService(sched, metasched.ServiceConfig{})
+}
+
+// seedJournal plays a genuine durable session — submits, a failure, a
+// recovery, ticks — and returns the journal bytes it wrote.
+func seedJournal(t testing.TB) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seed.journal")
+	svc, err := fuzzFactory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := durable.New(svc, durable.Options{JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		j := &job.Job{
+			Name: fmt.Sprintf("j%d", i+1), Priority: i + 1,
+			Request: job.ResourceRequest{Nodes: 1, Time: sim.Duration(40 + 10*i), MinPerformance: 1, MaxPrice: 6},
+		}
+		if err := ds.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ds.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.HandleNodeFailure("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.HandleNodeRecovery("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// seedInputs derives the pinned corpus from one genuine journal: intact,
+// torn mid-frame, bit-flipped, with the last record duplicated, with the
+// first two records swapped, with a version-skewed record appended, and the
+// degenerate non-journal shapes.
+func seedInputs(t testing.TB) map[string][]byte {
+	t.Helper()
+	raw := seedJournal(t)
+	payloads, ends, _ := codec.ScanFrames(raw[len(codec.JournalMagic):])
+	if len(payloads) < 3 {
+		t.Fatalf("seed journal holds only %d records", len(payloads))
+	}
+	frame := func(i int) []byte {
+		start := len(codec.JournalMagic)
+		if i > 0 {
+			start += ends[i-1]
+		}
+		return raw[start : len(codec.JournalMagic)+ends[i]]
+	}
+	flipped := append([]byte{}, raw...)
+	flipped[len(raw)/2] ^= 0x40
+	duplicated := append(append([]byte{}, raw...), frame(len(payloads)-1)...)
+	reordered := append([]byte{}, raw[:len(codec.JournalMagic)]...)
+	reordered = append(reordered, frame(1)...)
+	reordered = append(reordered, frame(0)...)
+	for i := 2; i < len(payloads); i++ {
+		reordered = append(reordered, frame(i)...)
+	}
+	skew := append(append([]byte{}, raw...),
+		codec.Frame([]byte(`{"v":99,"seq":999,"kind":"submit","now":0}`))...)
+	return map[string][]byte{
+		"intact":        raw,
+		"torn-tail":     raw[:len(raw)-3],
+		"bit-flip":      flipped,
+		"duplicated":    duplicated,
+		"reordered":     reordered,
+		"version-skew":  skew,
+		"empty":         {},
+		"magic-only":    []byte(codec.JournalMagic),
+		"wrong-magic":   []byte("NOTAJRNL" + "junk"),
+		"short-garbage": []byte{0x01, 0x02, 0x03},
+	}
+}
+
+// FuzzJournal feeds arbitrary bytes to the full recovery pipeline as a
+// journal file. Whatever the damage — truncation, bit flips, duplicated or
+// reordered records, version skew — recovery must either fail cleanly or
+// succeed into a coherent state: the audit invariants and the
+// recovery-coherence check hold, and recovering the same (tail-truncated)
+// file again reproduces the identical state hash and record count. A
+// corrupt-state load — success with incoherent or unstable state — is the
+// one outcome the journal format must make impossible.
+func FuzzJournal(f *testing.F) {
+	for _, data := range seedInputs(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		opts := durable.Options{JournalPath: path}
+		ds, rep, err := durable.Recover(opts, fuzzFactory)
+		if err != nil {
+			return // clean rejection: nothing was loaded
+		}
+		a := fault.NewAudit(ds.Scheduler())
+		if err := a.Check(); err != nil {
+			t.Fatalf("recovery accepted a journal but loaded an invariant-breaking state: %v", err)
+		}
+		if err := a.CheckRecoveryCoherence(rep.AppliedLive); err != nil {
+			t.Fatalf("recovery accepted a journal but state is incoherent: %v", err)
+		}
+		h := durable.StateHash(ds.Unwrap())
+		if err := ds.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// The first recovery truncated any torn tail, so a second one must be
+		// an exact fixed point.
+		ds2, rep2, err := durable.Recover(opts, fuzzFactory)
+		if err != nil {
+			t.Fatalf("re-recovery failed after a clean recovery: %v", err)
+		}
+		defer ds2.Close()
+		if got := durable.StateHash(ds2.Unwrap()); got != h {
+			t.Fatalf("re-recovery hash %x differs from first recovery %x", got, h)
+		}
+		if rep2.RecordsScanned != rep.RecordsScanned {
+			t.Fatalf("re-recovery scanned %d records, first recovery %d", rep2.RecordsScanned, rep.RecordsScanned)
+		}
+		if rep2.TornBytesDropped != 0 {
+			t.Fatalf("re-recovery still dropped %d torn bytes", rep2.TornBytesDropped)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus pins the seed corpus under testdata so CI's fuzz smoke
+// replays it without regenerating. Run with WRITE_FUZZ_CORPUS=1 after
+// changing the journal format or the seed session.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz/FuzzJournal")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seedInputs(t) {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package durable
+
+import "ecosched/internal/metrics"
+
+// durableMetrics holds the journal/recovery instruments under the
+// "metasched/durable/" prefix. All fields are nil when observability is off
+// (nil registry), making every observation a no-op branch — the
+// allocation-parity test pins that the disabled path allocates nothing.
+type durableMetrics struct {
+	// Journal write path.
+	records     *metrics.Counter
+	bytes       *metrics.Counter
+	checkpoints *metrics.Counter
+	// Recovery path.
+	replays      *metrics.Counter
+	replayed     *metrics.Counter
+	tornBytes    *metrics.Counter
+	checkpointed *metrics.Counter
+}
+
+// newDurableMetrics resolves the instruments; a nil registry returns nil and
+// every method below accepts that.
+func newDurableMetrics(r *metrics.Registry) *durableMetrics {
+	if r == nil {
+		return nil
+	}
+	return &durableMetrics{
+		records:      r.Counter("metasched/durable/records_appended_total"),
+		bytes:        r.Counter("metasched/durable/journal_bytes_total"),
+		checkpoints:  r.Counter("metasched/durable/checkpoints_written_total"),
+		replays:      r.Counter("metasched/durable/replays_total"),
+		replayed:     r.Counter("metasched/durable/records_replayed_total"),
+		tornBytes:    r.Counter("metasched/durable/torn_tail_bytes_dropped_total"),
+		checkpointed: r.Counter("metasched/durable/recoveries_from_checkpoint_total"),
+	}
+}
+
+func (m *durableMetrics) appended(frameBytes int64) {
+	if m == nil {
+		return
+	}
+	m.records.Inc()
+	m.bytes.Add(frameBytes)
+}
+
+func (m *durableMetrics) checkpointWritten() {
+	if m == nil {
+		return
+	}
+	m.checkpoints.Inc()
+}
+
+func (m *durableMetrics) replayStarted(fromCheckpoint bool) {
+	if m == nil {
+		return
+	}
+	m.replays.Inc()
+	if fromCheckpoint {
+		m.checkpointed.Inc()
+	}
+}
+
+func (m *durableMetrics) recordReplayed() {
+	if m == nil {
+		return
+	}
+	m.replayed.Inc()
+}
+
+func (m *durableMetrics) tornDropped(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.tornBytes.Add(bytes)
+}

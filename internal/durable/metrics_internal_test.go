@@ -1,0 +1,41 @@
+package durable
+
+import (
+	"testing"
+
+	"ecosched/internal/metrics"
+)
+
+// TestDisabledMetricsZeroAllocs pins the observability-off contract the
+// journal hot path relies on: with a nil registry every durable instrument
+// method is a nil-receiver no-op performing zero allocations, so running with
+// metrics disabled costs nothing beyond the branch.
+func TestDisabledMetricsZeroAllocs(t *testing.T) {
+	if m := newDurableMetrics(nil); m != nil {
+		t.Fatal("nil registry produced non-nil metrics")
+	}
+	var m *durableMetrics
+	if allocs := testing.AllocsPerRun(1000, func() {
+		m.appended(128)
+		m.checkpointWritten()
+		m.replayStarted(true)
+		m.recordReplayed()
+		m.tornDropped(16)
+	}); allocs != 0 {
+		t.Fatalf("disabled durable metrics allocate %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = newDurableMetrics(nil)
+	}); allocs != 0 {
+		t.Fatalf("nil-registry resolution allocates %.1f allocs/op, want 0", allocs)
+	}
+	// Enabled instruments observe without allocating too — resolution is the
+	// only allocating step.
+	em := newDurableMetrics(metrics.New())
+	if allocs := testing.AllocsPerRun(1000, func() {
+		em.appended(128)
+		em.recordReplayed()
+	}); allocs != 0 {
+		t.Fatalf("enabled durable metrics allocate %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,314 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+
+	"ecosched/internal/codec"
+	"ecosched/internal/dp"
+	"ecosched/internal/metasched"
+)
+
+// Factory rebuilds the pristine, pre-journal service: the same pool, grid,
+// scheduler configuration, and seeds the original session started from.
+// Recovery = factory() + checkpoint restore (if valid) + journal replay;
+// because configuration comes from code and the journal carries every
+// transition, the recovered state is byte-identical to the crashed one.
+type Factory func() (*metasched.Service, error)
+
+// RecoveryReport describes what a recovery did.
+type RecoveryReport struct {
+	// CheckpointUsed reports whether a valid checkpoint cut the replay.
+	CheckpointUsed bool
+	// RecordsScanned counts the intact records found in the journal;
+	// RecordsReplayed counts how many were replayed (all of them on a full
+	// replay, the post-checkpoint suffix otherwise).
+	RecordsScanned  int
+	RecordsReplayed int
+	// TornBytesDropped is the size of the torn tail a crash left behind.
+	TornBytesDropped int64
+	// Replayed counts per record kind.
+	Submits, Fails, Recovers, Revokes, Rounds int
+	// AppliedLive is the journal-derived applied-plan ledger after replay,
+	// sorted — already cross-checked against the scheduler's placed set.
+	AppliedLive []string
+}
+
+// Recover rebuilds a durable service from its journal: construct the
+// pristine service via the factory, restore the latest valid checkpoint if
+// one aligns with the journal, replay the remaining records through the real
+// service handlers (cross-checking each record's journaled outcome), and
+// verify recovery coherence — the scheduler's placed set must equal the
+// journal's applied-plan ledger, so no applied plan is lost and no unlogged
+// booking resurrected. The returned service appends where the journal left
+// off.
+//
+// A torn journal tail and a torn or missing checkpoint are absorbed
+// (truncate, fall back to full replay); a record that fails to decode,
+// replays differently than journaled, or comes from an incompatible format
+// version is an error — the journal and the code disagree about history, and
+// loading approximately would corrupt state.
+func Recover(opts Options, factory Factory) (*Service, *RecoveryReport, error) {
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if factory == nil {
+		return nil, nil, fmt.Errorf("durable: nil factory")
+	}
+	svc, err := factory()
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: factory: %w", err)
+	}
+	if svc == nil {
+		return nil, nil, fmt.Errorf("durable: factory returned nil service")
+	}
+	m := newDurableMetrics(opts.Metrics)
+	j, payloads, torn, err := OpenJournal(opts.JournalPath, opts.Sync, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, rep, err := recoverFrom(svc, j, payloads, torn, opts, m)
+	if err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+	return ds, rep, nil
+}
+
+// recoverFrom decodes, restores, and replays against an open journal.
+func recoverFrom(svc *metasched.Service, j *Journal, payloads [][]byte, torn int64, opts Options, m *durableMetrics) (*Service, *RecoveryReport, error) {
+	pool := svc.Scheduler().Grid().Pool()
+	records := make([]*codec.Record, len(payloads))
+	for i, p := range payloads {
+		rec, err := codec.DecodeRecord(p, pool)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: record %d: %w", i+1, err)
+		}
+		if rec.Seq != uint64(i+1) {
+			return nil, nil, fmt.Errorf("durable: record %d carries sequence %d (duplicated or reordered journal)", i+1, rec.Seq)
+		}
+		records[i] = rec
+	}
+	rep := &RecoveryReport{RecordsScanned: len(records), TornBytesDropped: torn}
+	ds := &Service{svc: svc, j: j, opts: opts, m: m, appliedLive: map[string]bool{}}
+
+	// Frame boundaries in file coordinates: boundary[k] is the journal size
+	// after k records. A checkpoint is usable only when its JournalOffset
+	// lands exactly on one of these — anything else means the checkpoint and
+	// the journal disagree and full replay is the safe path.
+	boundaries := make([]int64, len(records)+1)
+	off := int64(len(codec.JournalMagic))
+	boundaries[0] = off
+	for i, p := range payloads {
+		off += int64(len(p)) + codec.FrameOverhead
+		boundaries[i+1] = off
+	}
+	replayFrom := 0
+	if opts.CheckpointPath != "" {
+		cp, err := loadCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cp != nil {
+			at := -1
+			for k, b := range boundaries {
+				if b == cp.JournalOffset {
+					at = k
+					break
+				}
+			}
+			if at >= 0 && cp.Seq == uint64(at) {
+				if err := restoreCheckpoint(ds, cp); err != nil {
+					return nil, nil, fmt.Errorf("durable: checkpoint restore: %w", err)
+				}
+				replayFrom = at
+				rep.CheckpointUsed = true
+			}
+		}
+	}
+	m.replayStarted(rep.CheckpointUsed)
+
+	for i := replayFrom; i < len(records); i++ {
+		if err := ds.replayRecord(records[i], rep); err != nil {
+			return nil, nil, fmt.Errorf("durable: replay record %d (%s): %w", i+1, records[i].Kind, err)
+		}
+		rep.RecordsReplayed++
+		m.recordReplayed()
+	}
+	j.resume(uint64(len(records)))
+
+	rep.AppliedLive = ds.AppliedLive()
+	placed := svc.Scheduler().PlacedJobs()
+	if !equalStrings(rep.AppliedLive, placed) {
+		return nil, nil, fmt.Errorf("durable: recovery incoherent: journal applied-plan ledger %v, scheduler placed set %v",
+			rep.AppliedLive, placed)
+	}
+	return ds, rep, nil
+}
+
+// loadCheckpoint reads and decodes the checkpoint file. A missing or torn
+// checkpoint returns nil (fall back to full replay); version skew and I/O
+// errors are hard failures.
+func loadCheckpoint(path string) (*codec.Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: read checkpoint: %w", err)
+	}
+	cp, err := codec.DecodeCheckpoint(data)
+	if err != nil {
+		var skew *codec.VersionSkewError
+		if errors.As(err, &skew) {
+			return nil, fmt.Errorf("durable: checkpoint %s: %w", path, err)
+		}
+		if errors.Is(err, codec.ErrTorn) {
+			return nil, nil
+		}
+		// Structurally intact but semantically invalid (e.g. malformed
+		// JSON inside a valid frame): treat as torn — the journal can
+		// always reproduce the state.
+		return nil, nil
+	}
+	return cp, nil
+}
+
+// restoreCheckpoint loads a checkpoint's three state layers into the
+// service, seeding the applied-live ledger and round counter from it.
+func restoreCheckpoint(ds *Service, cp *codec.Checkpoint) error {
+	sched := ds.svc.Scheduler()
+	if err := sched.Grid().RestoreState(cp.Grid); err != nil {
+		return err
+	}
+	if err := sched.RestoreState(cp.Sched); err != nil {
+		return err
+	}
+	if err := ds.svc.RestoreState(cp.Service); err != nil {
+		return err
+	}
+	ds.rounds = cp.Rounds
+	ds.appliedLive = map[string]bool{}
+	for _, name := range sched.PlacedJobs() {
+		ds.appliedLive[name] = true
+	}
+	return nil
+}
+
+// replayRecord re-executes one journaled transition through the real service
+// handlers and cross-checks its journaled outcome.
+func (ds *Service) replayRecord(rec *codec.Record, rep *RecoveryReport) error {
+	switch rec.Kind {
+	case codec.RecordSubmit:
+		rep.Submits++
+		return ds.svc.Submit(rec.Job)
+	case codec.RecordFail:
+		rep.Fails++
+		before := ds.svc.Scheduler().DroppedJobs()
+		requeued, err := ds.svc.HandleNodeFailure(rec.Node)
+		if err != nil {
+			return err
+		}
+		return ds.checkOutcome(rec, requeued, newlyDropped(before, ds.svc.Scheduler().DroppedJobs()))
+	case codec.RecordRecover:
+		rep.Recovers++
+		return ds.svc.HandleNodeRecovery(rec.Node)
+	case codec.RecordRevoke:
+		rep.Revokes++
+		before := ds.svc.Scheduler().DroppedJobs()
+		requeued, err := ds.svc.HandleRevocation(rec.Node, rec.Span)
+		if err != nil {
+			return err
+		}
+		return ds.checkOutcome(rec, requeued, newlyDropped(before, ds.svc.Scheduler().DroppedJobs()))
+	case codec.RecordRound:
+		rep.Rounds++
+		return ds.replayRound(rec.Round)
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+}
+
+// checkOutcome verifies a fail/revoke record's journaled outcome against the
+// replayed one and updates the applied-live ledger.
+func (ds *Service) checkOutcome(rec *codec.Record, requeued, dropped []string) error {
+	if !equalStrings(rec.Requeued, requeued) {
+		return fmt.Errorf("journaled requeues %v, replay produced %v", rec.Requeued, requeued)
+	}
+	if !equalStrings(rec.Dropped, dropped) {
+		return fmt.Errorf("journaled drops %v, replay produced %v", rec.Dropped, dropped)
+	}
+	ds.forgetApplied(requeued, dropped)
+	return nil
+}
+
+// replayRound re-runs one evaluation round, installing the journaled plan in
+// place of the search (Plan's grid reads are pure, so skipping it cannot
+// change state) and driving the normal serial applier, which re-validates
+// every window via the grid's commit.
+func (ds *Service) replayRound(rr *codec.RoundRecord) error {
+	if rr.Tick {
+		ds.svc.EnqueueTick()
+	}
+	r, err := ds.svc.BeginRound()
+	if err != nil {
+		return err
+	}
+	var plan *metasched.Plan
+	if rr.Planned {
+		plan = &metasched.Plan{
+			Iteration: rr.Iteration,
+			Epoch:     rr.Epoch,
+			TotalTime: rr.TotalTime,
+			TotalCost: rr.TotalCost,
+		}
+		for _, cr := range rr.Choices {
+			jb := ds.svc.Scheduler().QueuedJob(cr.Job)
+			if jb == nil {
+				return fmt.Errorf("planned job %q is not in the recovered queue", cr.Job)
+			}
+			plan.Choices = append(plan.Choices, dp.Choice{Job: jb, Window: cr.Window})
+		}
+	}
+	if err := r.Iteration().InstallPlan(plan); err != nil {
+		return err
+	}
+	if err := r.Apply(); err != nil {
+		return err
+	}
+	if got := r.Iteration().StaleJobs(); !equalStrings(rr.Stale, got) {
+		return fmt.Errorf("journaled stale windows %v, replay produced %v", rr.Stale, got)
+	}
+	rep, err := r.Finish()
+	if err != nil {
+		return err
+	}
+	if rep.Iteration != rr.Iteration {
+		return fmt.Errorf("journaled iteration %d, replay ran %d", rr.Iteration, rep.Iteration)
+	}
+	var placed []string
+	for _, p := range rep.Placed {
+		placed = append(placed, p.Job.Name)
+	}
+	if !equalStrings(rr.Placed, placed) {
+		return fmt.Errorf("journaled placements %v, replay produced %v", rr.Placed, placed)
+	}
+	for _, name := range placed {
+		ds.appliedLive[name] = true
+	}
+	ds.rounds++
+	return nil
+}
+
+// equalStrings compares two string slices, nil and empty alike.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

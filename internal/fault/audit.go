@@ -38,6 +38,7 @@ type Target interface {
 	SubmittedCount() int
 	QueueLength() int
 	PlacedCount() int
+	PlacedJobs() []string
 	DroppedJobs() map[string]string
 	RetryStats() metasched.RetryStats
 }
@@ -262,6 +263,46 @@ func (a *Audit) checkVacancy() {
 	if err := a.grid.VacantStoreCoherent(); err != nil {
 		a.violate("vacant store diverged from rebuild: %v", err)
 	}
+}
+
+// CheckRecoveryCoherence verifies the recovery-coherence invariant against
+// the journal-derived applied-plan ledger (durable recovery computes it from
+// round and cancellation records): no applied plan is lost — every ledger
+// entry is in the scheduler's placed set — and no unlogged booking is
+// resurrected — every placed job and every live VO reservation traces back
+// to a journaled applied plan. Violations accumulate like every other check.
+func (a *Audit) CheckRecoveryCoherence(appliedLive []string) error {
+	before := len(a.violations)
+	ledger := make(map[string]bool, len(appliedLive))
+	for _, name := range appliedLive {
+		ledger[name] = true
+	}
+	placed := make(map[string]bool)
+	for _, name := range a.sched.PlacedJobs() {
+		placed[name] = true
+		if !ledger[name] {
+			a.violate("recovery coherence: placed job %s has no journaled applied plan", name)
+		}
+	}
+	for _, name := range appliedLive {
+		if !placed[name] {
+			a.violate("recovery coherence: applied plan for %s lost — job is not in the placed set", name)
+		}
+	}
+	now := a.grid.Now()
+	for _, t := range a.grid.AllTasks() {
+		if t.Local || t.Span.End <= now {
+			continue
+		}
+		if !ledger[t.Name] {
+			a.violate("recovery coherence: live reservation %s %v is not covered by any journaled applied plan",
+				t.Name, t.Span)
+		}
+	}
+	if fresh := a.violations[before:]; len(fresh) > 0 {
+		return fmt.Errorf("fault: %d recovery-coherence violation(s): %s", len(fresh), strings.Join(fresh, "; "))
+	}
+	return nil
 }
 
 // checkResurrection verifies no reservation cancelled by a fault event is

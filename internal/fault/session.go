@@ -6,7 +6,23 @@ import (
 	"sort"
 
 	"ecosched/internal/metasched"
+	"ecosched/internal/sim"
 )
+
+// ServiceDriver is the continuous-service surface a session drives in service
+// mode: the event handlers, the round runner, and the evaluation-queue depth
+// the drain loop watches. *metasched.Service satisfies it directly, and so
+// does the durable wrapper (internal/durable.Service), which journals every
+// one of these calls — the crash-storm soak runs a whole chaos session
+// through it unmodified.
+type ServiceDriver interface {
+	Scheduler() *metasched.Scheduler
+	HandleNodeFailure(nodeLabel string) ([]string, error)
+	HandleNodeRecovery(nodeLabel string) error
+	HandleRevocation(nodeLabel string, span sim.Interval) ([]string, error)
+	Tick() (*metasched.IterationReport, error)
+	QueueDepth() int
+}
 
 // Session drives a metascheduler through a fault plan: before every
 // scheduling iteration it applies the plan events whose time has come (in
@@ -29,12 +45,12 @@ type Session struct {
 	audit *Audit
 	w     io.Writer
 	// svc, when non-nil, switches the session to service mode: events route
-	// through the service's handlers (enqueueing evaluations) and each
+	// through the driver's handlers (enqueueing evaluations) and each
 	// iteration is a service round (Tick) instead of RunIteration. Because
 	// a round is exactly the batch step sequence with evaluation-queue
 	// bookkeeping around it, service-mode transcripts are byte-identical to
 	// batch-mode ones — the service chaos differential pins this.
-	svc *metasched.Service
+	svc ServiceDriver
 	// next indexes the first plan event not yet applied.
 	next int
 }
@@ -64,11 +80,22 @@ func NewServiceSession(svc *metasched.Service, plan *Plan, w io.Writer) (*Sessio
 	if svc == nil {
 		return nil, fmt.Errorf("fault: nil service")
 	}
-	s, err := NewSession(svc.Scheduler(), plan, w)
+	return NewDriverSession(svc, plan, w)
+}
+
+// NewDriverSession binds any ServiceDriver — a plain service or the durable
+// journaling wrapper — to a fault plan under the same audit and transcript
+// contract. Sessions over a plain service and over its durable wrapper
+// produce byte-identical transcripts; the crash-storm soak pins that.
+func NewDriverSession(d ServiceDriver, plan *Plan, w io.Writer) (*Session, error) {
+	if d == nil {
+		return nil, fmt.Errorf("fault: nil service driver")
+	}
+	s, err := NewSession(d.Scheduler(), plan, w)
 	if err != nil {
 		return nil, err
 	}
-	s.svc = svc
+	s.svc = d
 	return s, nil
 }
 
@@ -84,23 +111,86 @@ func (s *Session) Applied() int { return s.next }
 // throughout.
 func (s *Session) Run(iterations int) error {
 	for i := 0; i < iterations; i++ {
-		if err := s.injectDue(); err != nil {
+		if err := s.Step(); err != nil {
 			return err
-		}
-		rep, err := s.runIteration()
-		if err != nil {
-			return err
-		}
-		WriteIterationReport(s.w, rep)
-		for _, p := range rep.Placed {
-			s.audit.JobRescheduled(p.Job.Name)
-		}
-		if err := s.audit.Check(); err != nil {
-			return fmt.Errorf("fault: after iteration %d: %w", rep.Iteration, err)
 		}
 	}
 	WriteSummary(s.w, s.sched, s.next, s.plan.Len())
 	return nil
+}
+
+// Resume fast-forwards the plan cursor past the first applied events without
+// re-applying them: they already fired in a previous session whose committed
+// state this session's scheduler was recovered from. Only a fresh session can
+// resume. The crash-storm soak uses it to stitch a recovered continuation
+// onto a crashed prefix and still assemble Run's exact transcript.
+func (s *Session) Resume(applied int) error {
+	if applied < 0 || applied > s.plan.Len() {
+		return fmt.Errorf("fault: resume at event %d of %d", applied, s.plan.Len())
+	}
+	if s.next != 0 {
+		return fmt.Errorf("fault: resume after %d events already applied", s.next)
+	}
+	s.next = applied
+	return nil
+}
+
+// Step runs one audited round: inject due events, run the iteration, write
+// its transcript, clear re-placed jobs from the resurrection watch, check the
+// invariants. Run(n) is exactly n Steps plus the summary footer; crash-storm
+// drivers call Step directly so they can crash and resume between rounds and
+// still assemble a byte-identical transcript.
+func (s *Session) Step() error {
+	if err := s.injectDue(); err != nil {
+		return err
+	}
+	rep, err := s.runIteration()
+	if err != nil {
+		return err
+	}
+	WriteIterationReport(s.w, rep)
+	for _, p := range rep.Placed {
+		s.audit.JobRescheduled(p.Job.Name)
+	}
+	if err := s.audit.Check(); err != nil {
+		return fmt.Errorf("fault: after iteration %d: %w", rep.Iteration, err)
+	}
+	return nil
+}
+
+// Pending reports the in-flight work a finished Run leaves behind: plan
+// events not yet applied plus, in service mode, evaluations still waiting in
+// the service queue — including backoff-gated requeues whose retry time lies
+// beyond the last iteration. Run(n) stops after exactly n rounds whatever
+// remains; before this accessor existed that tail was dropped silently.
+func (s *Session) Pending() int {
+	n := s.plan.Len() - s.next
+	if s.svc != nil {
+		n += s.svc.QueueDepth()
+	}
+	return n
+}
+
+// Drain makes the end-of-plan tail explicit: it keeps running audited rounds
+// until Pending reaches zero — every plan event applied, every queued
+// evaluation (backoff requeues included) consumed by a round — or the round
+// budget is exhausted, which is an error naming the work still in flight.
+// Each drain round advances the clock exactly like a Run round, so gated
+// requeues come due; the transcript gets the same iteration lines followed by
+// a drain footer. It returns the number of rounds run.
+func (s *Session) Drain(maxRounds int) (int, error) {
+	ran := 0
+	for s.Pending() > 0 {
+		if ran >= maxRounds {
+			return ran, fmt.Errorf("fault: drain: %d item(s) still pending after %d round(s)", s.Pending(), maxRounds)
+		}
+		if err := s.Step(); err != nil {
+			return ran, err
+		}
+		ran++
+	}
+	fmt.Fprintf(s.w, "drained rounds=%d events=%d/%d\n", ran, s.next, s.plan.Len())
+	return ran, nil
 }
 
 // runIteration runs one scheduling step: a service round in service mode, a

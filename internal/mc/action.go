@@ -41,6 +41,13 @@ const (
 	// and Finish advances the clock. Service universes only; the counterpart
 	// of ActCommit.
 	ActApply
+	// ActCrash simulates a process crash at a committed boundary followed by
+	// durability recovery: the complete canonical state is exported through
+	// the codec's checkpoint wire format, decoded back, and restored in
+	// place. The post-recovery state must hash-equal the pre-crash committed
+	// state — a divergence is a safety violation. Service universes only,
+	// and only between rounds (an open round is by definition uncommitted).
+	ActCrash
 )
 
 // Action is one transition: a kind plus a job index (ActSubmit) or node
@@ -74,6 +81,8 @@ func (a Action) Render(u *Universe) string {
 		return "evaluate"
 	case ActApply:
 		return "apply"
+	case ActCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("action(%d,%d)", int(a.Kind), a.Arg)
 	}
@@ -102,7 +111,7 @@ func ParseScript(u *Universe, script string) ([]Action, error) {
 		fields := strings.Fields(line)
 		var a Action
 		switch fields[0] {
-		case "plan", "commit", "tick", "enqueue", "evaluate", "apply":
+		case "plan", "commit", "tick", "enqueue", "evaluate", "apply", "crash":
 			if len(fields) != 1 {
 				return nil, fmt.Errorf("mc: line %d: %q takes no argument", ln+1, fields[0])
 			}
@@ -119,6 +128,8 @@ func ParseScript(u *Universe, script string) ([]Action, error) {
 				a.Kind = ActEvaluate
 			case "apply":
 				a.Kind = ActApply
+			case "crash":
+				a.Kind = ActCrash
 			}
 		case "submit":
 			if len(fields) != 2 {

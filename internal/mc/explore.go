@@ -73,9 +73,9 @@ type Result struct {
 // that determine which actions are enabled, so successor enumeration needs
 // no replay of the parent.
 type node struct {
-	trace     []Action
-	depth     int
-	open      bool
+	trace []Action
+	depth int
+	open  bool
 	// enq marks a pending explicit tick evaluation (service universes).
 	enq       bool
 	submitted uint16
@@ -95,7 +95,7 @@ func (u *Universe) enabled(n node) []Action {
 		if n.open {
 			out = append(out, Action{Kind: ActApply})
 		} else {
-			out = append(out, Action{Kind: ActEvaluate})
+			out = append(out, Action{Kind: ActEvaluate}, Action{Kind: ActCrash})
 		}
 		if !n.enq {
 			out = append(out, Action{Kind: ActEnqueue})

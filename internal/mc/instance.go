@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"ecosched/internal/codec"
 	"ecosched/internal/fault"
 	"ecosched/internal/gridsim"
 	"ecosched/internal/metasched"
@@ -118,6 +119,8 @@ func (in *Instance) Feasible(a Action) bool {
 		return in.svc != nil && in.round == nil
 	case ActApply:
 		return in.svc != nil && in.round != nil
+	case ActCrash:
+		return in.svc != nil && in.round == nil
 	case ActTick:
 		return true
 	case ActFail, ActRevoke:
@@ -201,6 +204,10 @@ func (in *Instance) Apply(a Action) error {
 		}
 	case ActTick:
 		if err := in.grid.Advance(in.grid.Now().Add(in.u.Step)); err != nil {
+			return err
+		}
+	case ActCrash:
+		if err := in.crash(); err != nil {
 			return err
 		}
 	case ActFail, ActRecover, ActRevoke:
@@ -300,6 +307,52 @@ func (in *Instance) applyEvent(a Action) error {
 	in.events = append(in.events, ev)
 	fmt.Fprintf(in.w, "fault %v cancelled=%d requeued=%v drops=%d\n",
 		ev, len(cancelled), requeued, len(in.sched.DroppedJobs()))
+	return nil
+}
+
+// crash simulates a process crash at a committed boundary followed by
+// recovery from a durability checkpoint: the complete canonical state —
+// grid, scheduler, service — is exported, encoded through the codec's
+// checkpoint wire format, decoded back, and restored in place into the same
+// objects (the auditor and the transcript writer keep their pointers). The
+// protocol property is that durability is invisible: the post-recovery hash
+// must equal the pre-crash hash, and a divergence is a safety violation.
+// MutLossyCrash seeds the classic bug — recovery that silently drops the
+// tail of the evaluation queue — which this check must catch.
+func (in *Instance) crash() error {
+	before := in.Hash()
+	svcState, err := in.svc.ExportState()
+	if err != nil {
+		return err
+	}
+	cp := &codec.Checkpoint{
+		Grid:    in.grid.ExportState(),
+		Sched:   in.sched.ExportState(),
+		Service: svcState,
+	}
+	data, err := codec.EncodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	restored, err := codec.DecodeCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	if in.mut == MutLossyCrash && len(restored.Service.Pending) > 0 {
+		restored.Service.Pending = restored.Service.Pending[:len(restored.Service.Pending)-1]
+	}
+	if err := in.grid.RestoreState(restored.Grid); err != nil {
+		return err
+	}
+	if err := in.sched.RestoreState(restored.Sched); err != nil {
+		return err
+	}
+	if err := in.svc.RestoreState(restored.Service); err != nil {
+		return err
+	}
+	if after := in.Hash(); after != before {
+		return fmt.Errorf("mc: crash recovery changed committed state: hash %016x -> %016x", before, after)
+	}
 	return nil
 }
 

@@ -29,6 +29,11 @@ const (
 	// prevent. Caught by the double-booking, failed-node-reservation, and
 	// vacant-store-coherence invariants. Service universes only.
 	MutBlindApply
+	// MutLossyCrash makes crash recovery silently drop the newest pending
+	// evaluation from the restored service queue — the lost-journal-record
+	// bug durability exists to prevent. Caught by the crash action's
+	// hash-equality check. Service universes only.
+	MutLossyCrash
 )
 
 // String names the mutation; also the CLI flag syntax.
@@ -42,6 +47,8 @@ func (m Mutation) String() string {
 		return "resurrect"
 	case MutBlindApply:
 		return "blind-apply"
+	case MutLossyCrash:
+		return "lossy-crash"
 	default:
 		return fmt.Sprintf("mutation(%d)", int(m))
 	}
@@ -58,7 +65,9 @@ func ParseMutation(s string) (Mutation, error) {
 		return MutResurrect, nil
 	case "blind-apply":
 		return MutBlindApply, nil
+	case "lossy-crash":
+		return MutLossyCrash, nil
 	default:
-		return MutNone, fmt.Errorf("mc: unknown mutation %q (want none, double-refund, resurrect, blind-apply)", s)
+		return MutNone, fmt.Errorf("mc: unknown mutation %q (want none, double-refund, resurrect, blind-apply, lossy-crash)", s)
 	}
 }

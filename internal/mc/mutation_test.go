@@ -28,6 +28,10 @@ func TestMutationsCaught(t *testing.T) {
 		// placements blind; the checker must pin it within six actions
 		// (submit, evaluate, a mutating event, apply — plus slack).
 		{MutBlindApply, true, "", 6},
+		// Recovery that drops the newest pending evaluation diverges from
+		// the pre-crash hash as soon as the queue is non-empty: submit then
+		// crash is the whole counterexample.
+		{MutLossyCrash, true, "crash recovery changed", 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.mutation.String(), func(t *testing.T) {

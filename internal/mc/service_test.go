@@ -179,7 +179,8 @@ func TestServiceFeasibleMatchesEnabled(t *testing.T) {
 		}
 		out = append(out,
 			Action{Kind: ActPlan}, Action{Kind: ActCommit}, Action{Kind: ActTick},
-			Action{Kind: ActEnqueue}, Action{Kind: ActEvaluate}, Action{Kind: ActApply})
+			Action{Kind: ActEnqueue}, Action{Kind: ActEvaluate}, Action{Kind: ActApply},
+			Action{Kind: ActCrash})
 		for i := range u.Nodes {
 			out = append(out, Action{Kind: ActFail, Arg: i},
 				Action{Kind: ActRecover, Arg: i}, Action{Kind: ActRevoke, Arg: i})
@@ -203,6 +204,55 @@ func TestServiceFeasibleMatchesEnabled(t *testing.T) {
 		full := make([]Action, step+1)
 		copy(full, trace[:step+1])
 		n = n.child(a, full)
+	}
+}
+
+// TestCrashIsIdentity pins the crash action's contract directly: a trace with
+// crashes interleaved at every committed boundary reaches exactly the hash of
+// the same trace with the crashes removed — durability round-trips through the
+// checkpoint codec without observable effect — and crash stays infeasible in
+// batch universes and inside an open round.
+func TestCrashIsIdentity(t *testing.T) {
+	withCrashes := []Action{
+		{Kind: ActCrash},
+		{Kind: ActSubmit, Arg: 0}, {Kind: ActCrash},
+		{Kind: ActSubmit, Arg: 1}, {Kind: ActEnqueue}, {Kind: ActCrash},
+		{Kind: ActEvaluate}, {Kind: ActApply}, {Kind: ActCrash},
+		{Kind: ActFail, Arg: 1}, {Kind: ActCrash},
+		{Kind: ActTick}, {Kind: ActRecover, Arg: 1}, {Kind: ActCrash},
+		{Kind: ActEvaluate}, {Kind: ActApply}, {Kind: ActCrash},
+	}
+	var without []Action
+	for _, a := range withCrashes {
+		if a.Kind != ActCrash {
+			without = append(without, a)
+		}
+	}
+	inC, err := Replay(serviceTiny(), MutNone, withCrashes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inP, err := Replay(serviceTiny(), MutNone, without, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inC.Hash() != inP.Hash() {
+		t.Fatalf("crash is not identity: hash %016x with crashes, %016x without",
+			inC.Hash(), inP.Hash())
+	}
+
+	batch, err := NewInstance(Tiny(), MutNone, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Feasible(Action{Kind: ActCrash}) {
+		t.Fatal("crash feasible in a batch universe")
+	}
+	if err := inC.Apply(Action{Kind: ActEvaluate}); err != nil {
+		t.Fatal(err)
+	}
+	if inC.Feasible(Action{Kind: ActCrash}) {
+		t.Fatal("crash feasible inside an open round")
 	}
 }
 

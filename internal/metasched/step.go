@@ -211,6 +211,27 @@ func (it *Iteration) Plan() error {
 	return nil
 }
 
+// InstallPlan hands the iteration a plan produced elsewhere, standing in for
+// Plan(): journal replay skips the alternative search and re-applies exactly
+// the recorded combination through the normal Apply path, which re-validates
+// every window via the grid's commit. A nil plan is the "planned nothing"
+// outcome (empty or uncovered batch). The search-phase grid reads Plan would
+// have done are pure (publication never mutates observable state), so an
+// installed iteration finishes in a state byte-identical to the searched one.
+func (it *Iteration) InstallPlan(p *Plan) error {
+	if it.planned || it.applied || it.finished {
+		return fmt.Errorf("metasched: InstallPlan on iteration %d out of order (planned=%t applied=%t finished=%t)",
+			it.rep.Iteration, it.planned, it.applied, it.finished)
+	}
+	it.planned = true
+	it.plan = p
+	if p != nil {
+		it.rep.PlanTime = p.TotalTime
+		it.rep.PlanCost = p.TotalCost
+	}
+	return nil
+}
+
 // PendingPlan returns the combination Plan produced and Apply has not yet
 // consumed: nil before Plan, after Apply, or when the iteration planned
 // nothing. The service's evaluation phase hands this to its applier.

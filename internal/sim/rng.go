@@ -26,6 +26,17 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15)
 }
 
+// State returns the generator's current internal state. Together with
+// SetState it lets a checkpoint capture an RNG mid-stream and resume it
+// bit-for-bit: SetState(State()) is an exact clone point, so a recovered
+// session draws the identical tail of the stream the crashed one would have.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds or fast-forwards the generator to a previously captured
+// State value. The next Uint64 after SetState(s) equals the next Uint64 the
+// captured generator would have produced.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
